@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet fmt bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Short fuzzing pass over the parser and inliner.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/lang/
+	$(GO) test -fuzz=FuzzInline -fuzztime=30s ./internal/lang/
+
+# Regenerate every EXPERIMENTS.md table (full sizes; -quick for a fast run).
+experiments:
+	$(GO) run ./cmd/siwad-exp
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dining
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/satgadget
+
+clean:
+	$(GO) clean ./...

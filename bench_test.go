@@ -1,0 +1,400 @@
+package siwa
+
+// Benchmark harness: one benchmark per experiment row in DESIGN.md §3.
+// Run with: go test -bench=. -benchmem
+//
+//	BenchmarkFigure*       — the per-figure analyses (F1..F5)
+//	BenchmarkTheorem2      — Appendix A gadget construction + validation
+//	BenchmarkRefinedScaling— T1: detector runtime vs program size
+//	BenchmarkPrecision     — T2: spectrum cost on the precision workload
+//	BenchmarkExactVsStatic — T3: exponential baseline vs polynomial static
+//	BenchmarkUnrollGrowth  — T4: Lemma 1 transform cost vs nest depth
+//	BenchmarkStallCounting — T5: O(|N|) balance analysis
+//	BenchmarkExtensionLadder — T6: the precision/cost spectrum
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/petri"
+	"repro/internal/sat3"
+	"repro/internal/sg"
+	"repro/internal/stall"
+	"repro/internal/waves"
+	"repro/internal/workload"
+)
+
+func benchAnalyzer(b *testing.B, src string) *core.Analyzer {
+	b.Helper()
+	g, err := sg.FromProgram(MustParse(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewAnalyzer(g)
+}
+
+// --- figures ---------------------------------------------------------------
+
+func BenchmarkFigure1Naive(b *testing.B) {
+	a := benchAnalyzer(b, exp.Figure1Class)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := a.Naive(); !v.MayDeadlock {
+			b.Fatal("verdict changed")
+		}
+	}
+}
+
+func BenchmarkFigure1RefinedPairs(b *testing.B) {
+	a := benchAnalyzer(b, exp.Figure1Class)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := a.RefinedPairs(); v.MayDeadlock {
+			b.Fatal("verdict changed")
+		}
+	}
+}
+
+func BenchmarkFigure2StallExact(b *testing.B) {
+	p := MustParse(exp.Figure2a)
+	for i := 0; i < b.N; i++ {
+		res, err := waves.ExploreProgram(p, waves.Options{})
+		if err != nil || !res.Stall {
+			b.Fatal("verdict changed")
+		}
+	}
+}
+
+func BenchmarkFigure2DeadlockRefined(b *testing.B) {
+	a := benchAnalyzer(b, exp.Figure2b)
+	for i := 0; i < b.N; i++ {
+		if v := a.Refined(); !v.MayDeadlock {
+			b.Fatal("verdict changed")
+		}
+	}
+}
+
+func BenchmarkFigure3Constraint4(b *testing.B) {
+	a := benchAnalyzer(b, exp.Figure3)
+	for i := 0; i < b.N; i++ {
+		free, conclusive := a.Constraint4Certify(0)
+		if !free || !conclusive {
+			b.Fatal("verdict changed")
+		}
+	}
+}
+
+func BenchmarkFigure4CLGBuild(b *testing.B) {
+	p := MustParse(exp.Figure4a)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := core.NewAnalyzer(g)
+		if v := a.Naive(); v.MayDeadlock {
+			b.Fatal("verdict changed")
+		}
+	}
+}
+
+func BenchmarkFigure5MergeTransform(b *testing.B) {
+	p := MustParse(exp.Figure5bc)
+	for i := 0; i < b.N; i++ {
+		m := stall.MergeBranches(p)
+		if !stall.IsStraightLine(m) {
+			b.Fatal("transform regressed")
+		}
+	}
+}
+
+// --- Appendix A -------------------------------------------------------------
+
+func BenchmarkTheorem2(b *testing.B) {
+	for _, size := range []struct{ v, c int }{{4, 2}, {5, 3}} {
+		b.Run(fmt.Sprintf("vars=%d/clauses=%d", size.v, size.c), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			f := sat3.Random(rng, size.v, size.c)
+			for i := 0; i < b.N; i++ {
+				p, err := sat3.BuildTheorem2(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := sg.FromProgram(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				an := core.NewAnalyzer(g)
+				if _, ok := sat3.Theorem2HasValidCycle(an, 60000); !ok {
+					b.Fatal("truncated")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTheorem3(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := sat3.Random(rng, 4, 2)
+	for i := 0; i < b.N; i++ {
+		g, err := sat3.BuildTheorem3(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		an := core.NewAnalyzer(g)
+		if _, ok := sat3.Theorem3HasValidCycle(an, 60000); !ok {
+			b.Fatal("truncated")
+		}
+	}
+}
+
+// --- T1: runtime scaling ----------------------------------------------------
+
+func BenchmarkRefinedScaling(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		p := workload.CrossRing(n, 2)
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := core.NewAnalyzer(g)
+		b.Run(fmt.Sprintf("tasks=%d/nodes=%d", n, g.N()-2), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.Refined()
+			}
+		})
+	}
+}
+
+func BenchmarkNaiveScaling(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		p := workload.CrossRing(n, 2)
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := core.NewAnalyzer(g)
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.Naive()
+			}
+		})
+	}
+}
+
+// --- T2: precision workload --------------------------------------------------
+
+func BenchmarkPrecision(b *testing.B) {
+	// Cost of scoring one random program with the whole spectrum.
+	rng := rand.New(rand.NewSource(3))
+	progs := make([]*Program, 32)
+	for i := range progs {
+		progs[i] = workload.Random(rng, workload.DefaultConfig())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := progs[i%len(progs)]
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := core.NewAnalyzer(g)
+		for _, algo := range exp.Algorithms {
+			a.Run(algo)
+		}
+	}
+}
+
+// --- T3: exact exponential baseline vs polynomial static ---------------------
+
+func BenchmarkExactVsStatic(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		p := workload.ForkFan(n, 2)
+		b.Run(fmt.Sprintf("exact/pairs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := waves.ExploreProgram(p, waves.Options{MaxStates: 1 << 22})
+				if err != nil || res.Truncated {
+					b.Fatal("exploration failed")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("static/pairs=%d", n), func(b *testing.B) {
+			g, err := sg.FromProgram(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := core.NewAnalyzer(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Refined()
+			}
+		})
+	}
+}
+
+// --- T4: Lemma 1 unroll growth ------------------------------------------------
+
+func BenchmarkUnrollGrowth(b *testing.B) {
+	for _, d := range []int{1, 2, 4, 6} {
+		p := workload.NestedLoops(d, 4)
+		b.Run(fmt.Sprintf("depth=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				u := cfg.Unroll(p)
+				if cfg.HasLoops(u) {
+					b.Fatal("unroll failed")
+				}
+			}
+		})
+	}
+}
+
+// --- T5: stall counting --------------------------------------------------------
+
+func BenchmarkStallCounting(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		p := workload.Pipeline(4, n)
+		b.Run(fmt.Sprintf("nodes=%d", p.CountRendezvous()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stall.CountNodes(p)
+			}
+		})
+	}
+}
+
+func BenchmarkStallLinearizations(b *testing.B) {
+	p := MustParse(exp.Figure5d)
+	for i := 0; i < b.N; i++ {
+		stall.CheckAllLinearizations(p)
+	}
+}
+
+// --- T6: extension ladder -------------------------------------------------------
+
+func BenchmarkExtensionLadder(b *testing.B) {
+	g, err := sg.FromProgram(workload.Pipeline(4, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := core.NewAnalyzer(g)
+	for _, algo := range exp.Algorithms {
+		b.Run(algo.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.Run(algo)
+			}
+		})
+	}
+	b.Run("refined+k-pairs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.RefinedKPairs(3, core.KPairsBudget{})
+		}
+	})
+	b.Run("enumerate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.Enumerate(1 << 16)
+		}
+	})
+}
+
+func BenchmarkEnumerateFixtures(b *testing.B) {
+	for _, name := range []string{"figure1", "figure4c"} {
+		src := exp.Figure1Class
+		if name == "figure4c" {
+			src = exp.Figure4c
+		}
+		a := benchAnalyzer(b, src)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := a.Enumerate(0)
+				if v.MayDeadlock || !v.Conclusive {
+					b.Fatal("verdict changed")
+				}
+			}
+		})
+	}
+}
+
+// --- T7: Petri-net baseline ---------------------------------------------------
+
+func BenchmarkPetriReach(b *testing.B) {
+	for _, n := range []int{2, 4, 6} {
+		p := workload.ForkFan(n, 2)
+		pb, err := petri.FromProgram(p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("pairs=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := pb.Reach(petri.ReachOptions{MaxMarkings: 1 << 22})
+				if res.Truncated || !res.Completed {
+					b.Fatal("verdict changed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPetriInvariants(b *testing.B) {
+	pb, err := petri.FromProgram(workload.Pipeline(4, 3), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		petri.PInvariants(pb.Net)
+		petri.TInvariants(pb.Net)
+	}
+}
+
+// --- pipeline stages (component costs) -------------------------------------------
+
+func BenchmarkParse(b *testing.B) {
+	src := workload.CrossRing(16, 4).String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyncGraphBuild(b *testing.B) {
+	p := workload.CrossRing(16, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sg.FromProgram(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOrderingFacts(b *testing.B) {
+	g, err := sg.FromProgram(workload.CrossRing(8, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.NewAnalyzer(g)
+	}
+}
+
+func BenchmarkEndToEndAnalyze(b *testing.B) {
+	p := workload.Pipeline(6, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(p, Options{Algorithm: AlgoRefinedPairs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command siwad-exp regenerates every experiment in EXPERIMENTS.md: the
+// per-figure reproductions (F1-F5), the Appendix A reduction validations
+// (F6-F9) and the quantitative claims (T1-T7).
+//
+// Usage:
+//
+//	siwad-exp [-quick] [-seed S] [-samples N]
+//
+// -quick shrinks the workloads so the whole run finishes in a couple of
+// seconds; the default sizes match the numbers recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller workloads")
+	seed := flag.Int64("seed", 11, "random seed for sampled experiments")
+	samples := flag.Int("samples", 200, "sample count for the precision experiment")
+	flag.Parse()
+
+	if err := runAll(os.Stdout, *quick, *seed, *samples); err != nil {
+		fmt.Fprintf(os.Stderr, "siwad-exp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runAll prints every experiment to w.
+func runAll(out io.Writer, quick bool, seed int64, samples int) error {
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	fmt.Fprintln(out, "== F1-F5: figure reproductions (detector spectrum vs exact ground truth) ==")
+	figs, err := exp.RunFigures()
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintFigures(out, figs)
+
+	fmt.Fprintln(out, "\n== F6-F8: Theorem 2 reduction (3-SAT -> unsequenceable-head cycles) ==")
+	n2 := 40
+	if quick {
+		n2 = 10
+	}
+	t2, err := exp.RunTheorem2Agreement(seed, n2, 4, 2)
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintTheoremAgreement(out, "Theorem 2 (sparse, 4 vars x 2 clauses)", t2)
+	t2d, err := exp.RunTheorem2Agreement(seed, n2, 3, 7)
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintTheoremAgreement(out, "Theorem 2 (dense, 3 vars x 7 clauses)", t2d)
+
+	fmt.Fprintln(out, "\n== F9: Theorem 3 reduction (3-SAT -> constraint-1+2 cycles) ==")
+	t3, err := exp.RunTheorem3Agreement(seed, n2, 4, 2)
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintTheoremAgreement(out, "Theorem 3 (sparse, 4 vars x 2 clauses)", t3)
+	t3d, err := exp.RunTheorem3Agreement(seed, n2, 3, 7)
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintTheoremAgreement(out, "Theorem 3 (dense, 3 vars x 7 clauses)", t3d)
+	c2, c3, err := exp.RunCanonicalUnsat()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(out, "canonical UNSAT formula: theorem2-cycle=%v theorem3-cycle=%v (both must be false)\n", c2, c3)
+
+	fmt.Fprintln(out, "\n== T1: detector runtime vs program size (CrossRing family) ==")
+	sizes := [][2]int{{4, 2}, {8, 2}, {16, 2}, {32, 2}, {64, 2}}
+	if quick {
+		sizes = [][2]int{{4, 2}, {8, 2}, {16, 2}}
+	}
+	sc, err := exp.RunScaling(sizes, !quick)
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintScaling(out, sc)
+
+	fmt.Fprintln(out, "\n== T2: precision against exact ground truth (random programs) ==")
+	ns := samples
+	if quick {
+		ns = 40
+	}
+	prec, skipped, err := exp.RunPrecision(seed, ns, workload.Config{
+		Tasks: 3, StmtsPerTask: 3, Msgs: 2, BranchProb: 0.25, MaxDepth: 2, AcceptRatio: 0.5,
+	})
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintPrecision(out, prec, skipped)
+
+	fmt.Fprintln(out, "\n== T2b: detector matrix on the structured workload families ==")
+	fams, err := exp.RunFamilies()
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintFamilies(out, fams)
+
+	fmt.Fprintln(out, "\n== T3: exact (exponential) vs static (polynomial) — ForkFan family ==")
+	pairs := []int{1, 2, 3, 4, 6, 8}
+	if quick {
+		pairs = []int{1, 2, 3, 4}
+	}
+	evs, err := exp.RunExactVsStatic(pairs, 2, 1<<22)
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintExactVsStatic(out, evs)
+
+	fmt.Fprintln(out, "\n== T4: Lemma 1 twice-unroll growth vs loop nest depth ==")
+	depths := []int{1, 2, 3, 4, 6, 8}
+	if quick {
+		depths = []int{1, 2, 3, 4}
+	}
+	exp.PrintUnrollGrowth(out, exp.RunUnrollGrowth(depths, 4))
+
+	fmt.Fprintln(out, "\n== T5: Lemma 3 stall counting is O(|N|) ==")
+	szs := []int{10, 100, 1000, 10000}
+	if quick {
+		szs = []int{10, 100, 1000}
+	}
+	exp.PrintStallScaling(out, exp.RunStallScaling(szs))
+
+	fmt.Fprintln(out, "\n== T6: extension ladder on Pipeline(4,3) — precision up, cost up ==")
+	lad, err := exp.RunLadder(workload.Pipeline(4, 3))
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintLadder(out, lad)
+
+	fmt.Fprintln(out, "\n== T7: exact baselines — wave explorer vs Petri-net reachability ==")
+	base, err := exp.RunBaselines()
+	if err != nil {
+		fail(err)
+	}
+	exp.PrintBaselines(out, base)
+	return firstErr
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllQuick(t *testing.T) {
+	var out strings.Builder
+	if err := runAll(&out, true, 11, 10); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"F1-F5", "F6-F8", "F9",
+		"T1:", "T2:", "T2b:", "T3:", "T4:", "T5:", "T6:", "T7:",
+		"verdicts-agree", "+k-pairs",
+		"agree with DPLL",
+		"canonical UNSAT formula: theorem2-cycle=false theorem3-cycle=false",
+		"false-alarm-rate",
+		"enumerate",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// All precision rows must report zero misses.
+	if strings.Contains(s, "missed") {
+		t.Fatalf("unexpected misses:\n%s", s)
+	}
+}

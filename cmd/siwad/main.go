@@ -1,0 +1,168 @@
+// Command siwad analyzes MiniAda programs for infinite wait anomalies
+// (stalls and deadlocks) using the detectors of Masticola & Ryder (ICPP
+// 1990).
+//
+// Usage:
+//
+//	siwad [flags] file.ada...        # analyze files
+//	siwad [flags] -                  # analyze stdin
+//
+// Flags:
+//
+//	-algo NAME    detector: naive, refined, pairs, head-tail, ht-pairs,
+//	              k-pairs, enumerate (default refined)
+//	-all          run the whole detector spectrum
+//	-c4           also try the constraint-4 (outside breaker) certifier
+//	-enum         also run the cycle-enumeration detector (exact 1c)
+//	-fifo         apply the FIFO sync-edge refinement first (loop-free)
+//	-exact        also run the exact wave explorer (exponential)
+//	-trace        print rendezvous traces to each anomaly (implies -exact)
+//	-json         machine-readable output
+//	-max-states N state cap for -exact and -dot waves (default 1<<20)
+//	-dot KIND     print a Graphviz graph instead of analyzing:
+//	              sync | clg | waves (the Taylor concurrency state graph)
+//
+// Exit status: 0 when every input is certified deadlock-free, 1 when any
+// input may deadlock or stall, 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	siwa "repro"
+	"repro/internal/clg"
+	"repro/internal/waves"
+)
+
+var algoNames = map[string]siwa.Algorithm{
+	"naive":     siwa.AlgoNaive,
+	"refined":   siwa.AlgoRefined,
+	"pairs":     siwa.AlgoRefinedPairs,
+	"head-tail": siwa.AlgoRefinedHeadTail,
+	"ht-pairs":  siwa.AlgoRefinedHeadTailPairs,
+	"k-pairs":   siwa.AlgoRefinedKPairs,
+	"enumerate": siwa.AlgoEnumerate,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("siwad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	algo := fs.String("algo", "refined", "detector: naive, refined, pairs, head-tail, ht-pairs, k-pairs, enumerate")
+	all := fs.Bool("all", false, "run the whole detector spectrum")
+	c4 := fs.Bool("c4", false, "also run the constraint-4 certifier")
+	enum := fs.Bool("enum", false, "also run the cycle-enumeration detector (exact constraint 1c)")
+	fifo := fs.Bool("fifo", false, "apply the FIFO sync-edge refinement (loop-free programs)")
+	exact := fs.Bool("exact", false, "also run the exact wave explorer")
+	trace := fs.Bool("trace", false, "with the exact explorer, print rendezvous traces to each anomaly (implies -exact)")
+	maxStates := fs.Int("max-states", 1<<20, "state cap for -exact")
+	dot := fs.String("dot", "", "emit a Graphviz graph (sync|clg|waves) instead of analyzing")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the text report")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "siwad: no input files (use - for stdin)")
+		fs.Usage()
+		return 2
+	}
+	algorithm, ok := algoNames[*algo]
+	if !ok {
+		fmt.Fprintf(stderr, "siwad: unknown algorithm %q\n", *algo)
+		return 2
+	}
+
+	anomalous := false
+	for _, path := range fs.Args() {
+		src, err := readInput(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "siwad: %v\n", err)
+			return 2
+		}
+		prog, err := siwa.Parse(src)
+		if err != nil {
+			fmt.Fprintf(stderr, "siwad: %s: %v\n", path, err)
+			return 2
+		}
+		rep, err := siwa.Analyze(prog, siwa.Options{
+			Algorithm:     algorithm,
+			AllAlgorithms: *all,
+			Constraint4:   *c4,
+			Enumerate:     *enum,
+			FIFO:          *fifo,
+			Exact:         *exact || *trace,
+			ExactOptions:  waves.Options{MaxStates: *maxStates, Traces: *trace},
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "siwad: %s: %v\n", path, err)
+			return 2
+		}
+		if *dot != "" {
+			switch *dot {
+			case "sync":
+				fmt.Fprint(stdout, rep.Graph.DOT())
+			case "clg":
+				fmt.Fprint(stdout, clg.Build(rep.Graph).DOT())
+			case "waves":
+				eg, err := waves.ExploreProgramGraph(prog)
+				if err != nil {
+					fmt.Fprintf(stderr, "siwad: %s: %v\n", path, err)
+					return 2
+				}
+				sgph := waves.BuildStateGraph(eg, *maxStates)
+				if sgph.Truncated {
+					fmt.Fprintf(stderr, "siwad: %s: state graph truncated at %d states\n", path, *maxStates)
+				}
+				fmt.Fprint(stdout, sgph.DOT())
+			default:
+				fmt.Fprintf(stderr, "siwad: unknown -dot kind %q\n", *dot)
+				return 2
+			}
+			continue
+		}
+		if *jsonOut {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintf(stderr, "siwad: %s: %v\n", path, err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "%s\n", data)
+			if !rep.DeadlockFree() || !rep.Stall.StallFree() {
+				anomalous = true
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "== %s ==\n%s", path, rep.Summary())
+		if *trace && rep.Exact != nil {
+			for i, a := range rep.Exact.Anomalies {
+				kind := "stall"
+				if len(a.DeadlockSet) > 0 {
+					kind = "deadlock"
+				}
+				fmt.Fprintf(stdout, "  anomaly %d (%s) trace: %s\n", i+1, kind, rep.TraceString(a))
+			}
+		}
+		if !rep.DeadlockFree() || !rep.Stall.StallFree() {
+			anomalous = true
+		}
+	}
+	if anomalous {
+		return 1
+	}
+	return 0
+}
+
+func readInput(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,87 @@
+package siwa
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/waves"
+)
+
+// TestCorpus sweeps every testdata program through the full analysis with
+// every certifier enabled plus the exact explorer, asserting the expected
+// qualitative outcome for each file. This is the end-to-end integration
+// test a release would gate on.
+func TestCorpus(t *testing.T) {
+	expect := map[string]struct {
+		deadlockFree bool // after all certifiers
+		stallFree    bool
+		exactDead    bool
+		exactStall   bool
+	}{
+		"handshake.ada":     {true, true, false, false},
+		"deadlock.ada":      {false, true, true, false},
+		"stall.ada":         {true, false, false, true},
+		"philosophers.ada":  {false, true, true, false},
+		"loop_pipeline.ada": {true, true, false, false},
+		"figure3.ada":       {true, true, false, false},
+		"procedures.ada":    {true, true, false, false},
+	}
+	files, err := filepath.Glob("testdata/*.ada")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(expect) {
+		t.Fatalf("corpus has %d files, expectations cover %d — update TestCorpus", len(files), len(expect))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			want, ok := expect[filepath.Base(f)]
+			if !ok {
+				t.Fatalf("no expectation for %s", f)
+			}
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Analyze(prog, Options{
+				Algorithm:   AlgoRefinedPairs,
+				Constraint4: true,
+				Enumerate:   true,
+				Exact:       true,
+				ExactOptions: waves.Options{
+					MaxStates: 1 << 18,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Exact.Truncated {
+				t.Fatal("exact exploration truncated")
+			}
+			if got := rep.DeadlockFree(); got != want.deadlockFree {
+				t.Errorf("deadlockFree=%v, want %v\n%s", got, want.deadlockFree, rep.Summary())
+			}
+			if got := rep.Stall.StallFree(); got != want.stallFree {
+				t.Errorf("stallFree=%v, want %v", got, want.stallFree)
+			}
+			if rep.Exact.Deadlock != want.exactDead || rep.Exact.Stall != want.exactStall {
+				t.Errorf("exact dead=%v stall=%v, want %v/%v",
+					rep.Exact.Deadlock, rep.Exact.Stall, want.exactDead, want.exactStall)
+			}
+			// Sanity: static certifications never contradict ground truth.
+			if rep.DeadlockFree() && rep.Exact.Deadlock {
+				t.Error("UNSOUND: certified deadlock-free but exact deadlocks")
+			}
+			// JSON round-trips on every corpus entry.
+			if _, err := rep.JSON(); err != nil {
+				t.Errorf("JSON: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+// The certifier ladder in action: a program (the paper's Figure 3) whose
+// deadlock cycle survives every local constraint, so the whole masked-SCC
+// spectrum raises a false alarm — and the two global certifiers that can
+// still prove it deadlock-free:
+//
+//   - the constraint-4 certifier: task W is always ready to rendezvous
+//     with head t, so the cycle can never actually strand;
+//
+//   - for comparison, the same machinery on Figure 4(c), where the cycle
+//     is impossible for a different reason (it would need both branches
+//     of one task at once) and the enumeration detector's exact
+//     constraint-1c check certifies.
+//
+//     go run ./examples/certifiers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	siwa "repro"
+)
+
+const figure3 = `
+task T1 is
+begin
+  r: accept mr;
+  s: T2.mt;
+end;
+task T2 is
+begin
+  t: accept mt;
+  u: T1.mr;
+  v: accept mt;
+end;
+task W is
+begin
+  w: T2.mt;
+end;
+`
+
+const figure4c = `
+task X is
+begin
+  if c then
+    a: accept m1;
+    bb: Y.m2;
+  else
+    cc: accept m3;
+    d: Z.m4;
+  end if;
+end;
+task Y is
+begin
+  e1: accept m2;
+  f1: X.m3;
+end;
+task Z is
+begin
+  g: accept m4;
+  h: X.m1;
+end;
+`
+
+func show(title, src string) {
+	prog, err := siwa.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := siwa.Analyze(prog, siwa.Options{
+		AllAlgorithms: true,
+		Constraint4:   true,
+		Enumerate:     true,
+		Exact:         true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %s ==\n%s", title, rep.Summary())
+	if rep.DeadlockFree() {
+		fmt.Println("=> certified deadlock-free despite the spectrum's alarms")
+	}
+	fmt.Println()
+}
+
+func main() {
+	show("Figure 3: broken by an outside task (constraint 4)", figure3)
+	show("Figure 4(c): impossible double-branch cycle (constraint 1c via enumeration)", figure4c)
+}

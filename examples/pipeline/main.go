@@ -1,0 +1,94 @@
+// A producer/filter/consumer pipeline with bounded loops — the workload
+// the paper's loop handling (Lemma 1) exists for. The analysis unrolls
+// every loop twice, and the head-pair detector certifies the pipeline
+// deadlock-free; the stall balance check (Lemma 4) verifies the message
+// counts agree in every linearization.
+//
+// The -broken flag drops one accept from the consumer, which the balance
+// check catches as a stall (a message that can never be delivered).
+//
+//	go run ./examples/pipeline [-broken]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	siwa "repro"
+)
+
+const goodPipeline = `
+task producer is
+begin
+  loop 4 times
+    filter.raw;
+  end loop;
+end;
+
+task filter is
+begin
+  loop 4 times
+    accept raw;
+    consumer.cooked;
+  end loop;
+end;
+
+task consumer is
+begin
+  loop 4 times
+    accept cooked;
+  end loop;
+end;
+`
+
+const brokenPipeline = `
+task producer is
+begin
+  loop 4 times
+    filter.raw;
+  end loop;
+end;
+
+task filter is
+begin
+  loop 4 times
+    accept raw;
+    consumer.cooked;
+  end loop;
+end;
+
+task consumer is
+begin
+  loop 3 times
+    accept cooked;
+  end loop;
+end;
+`
+
+func main() {
+	broken := flag.Bool("broken", false, "drop one consumer accept (stall demo)")
+	flag.Parse()
+	src := goodPipeline
+	if *broken {
+		src = brokenPipeline
+	}
+	prog, err := siwa.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := siwa.Analyze(prog, siwa.Options{
+		Algorithm: siwa.AlgoRefinedPairs,
+		Exact:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+	switch {
+	case !rep.Stall.StallFree():
+		fmt.Println("\n=> the balance check caught the missing accept (Lemma 4)")
+	case rep.DeadlockFree():
+		fmt.Println("\n=> pipeline certified: no deadlock, counts balanced")
+	}
+}

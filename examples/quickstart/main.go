@@ -1,0 +1,58 @@
+// Quickstart: parse a small MiniAda program, run the deadlock-detector
+// spectrum and the stall balance check, and print the report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	siwa "repro"
+)
+
+// Two workers exchange a token through a coordinator. The program is
+// deadlock-free, but only because the coordinator accepts in the order the
+// workers send — flip the two accepts and it deadlocks (try it!).
+const src = `
+task coord is
+begin
+  accept hello;     -- from either worker
+  accept hello;
+  w1.go;
+  w2.go;
+end;
+
+task w1 is
+begin
+  coord.hello;
+  accept go;
+end;
+
+task w2 is
+begin
+  coord.hello;
+  accept go;
+end;
+`
+
+func main() {
+	prog, err := siwa.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := siwa.Analyze(prog, siwa.Options{
+		Algorithm:     siwa.AlgoRefinedPairs,
+		AllAlgorithms: true,
+		Exact:         true, // tiny program: exact ground truth is cheap
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Summary())
+	if rep.DeadlockFree() {
+		fmt.Println("\n=> certified deadlock-free by the static analysis")
+	} else {
+		fmt.Println("\n=> possible deadlock; inspect the witnesses above")
+	}
+}

@@ -1,0 +1,193 @@
+package siwa
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/workload"
+)
+
+// TestExperimentIndex pins the qualitative outcome of every figure
+// experiment (DESIGN.md §3, EXPERIMENTS.md). A change in any detector that
+// shifts one of these verdicts fails here first.
+func TestExperimentIndex(t *testing.T) {
+	rows, err := exp.RunFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]exp.FigureRow{}
+	for _, r := range rows {
+		byID[r.ID] = r
+	}
+
+	// F1: deadlock-free; naive and single-head refined alarm; the pair
+	// extensions certify.
+	f1 := byID["F1"]
+	if f1.ExactVerdict != "clean" {
+		t.Fatalf("F1 exact=%s", f1.ExactVerdict)
+	}
+	if !f1.Alarms[core.AlgoNaive] || !f1.Alarms[core.AlgoRefined] {
+		t.Fatal("F1: expected naive and refined alarms")
+	}
+	if f1.Alarms[core.AlgoRefinedPairs] || f1.Alarms[core.AlgoRefinedHeadTailPairs] {
+		t.Fatal("F1: pair extensions must certify")
+	}
+
+	// F2a: pure stall; every deadlock detector certifies; balance flags.
+	f2a := byID["F2a"]
+	if f2a.ExactVerdict != "stall" || !f2a.StallFlagged {
+		t.Fatalf("F2a: %+v", f2a)
+	}
+	for a, alarm := range f2a.Alarms {
+		if alarm {
+			t.Fatalf("F2a: %v raised a deadlock alarm on a pure stall", a)
+		}
+	}
+
+	// F2b: real deadlock; everything alarms, constraint 4 cannot certify.
+	f2b := byID["F2b"]
+	if f2b.ExactVerdict != "deadlock" {
+		t.Fatalf("F2b exact=%s", f2b.ExactVerdict)
+	}
+	for a, alarm := range f2b.Alarms {
+		if !alarm {
+			t.Fatalf("F2b: %v missed the deadlock", a)
+		}
+	}
+	if f2b.C4Certified {
+		t.Fatal("F2b: constraint 4 wrongly certified")
+	}
+
+	// F3: deadlock-free but locally valid cycle; only constraint 4
+	// certifies.
+	f3 := byID["F3"]
+	if f3.ExactVerdict != "clean" && f3.ExactVerdict != "stall" {
+		t.Fatalf("F3 exact=%s", f3.ExactVerdict)
+	}
+	if !f3.Alarms[core.AlgoNaive] || !f3.Alarms[core.AlgoRefined] || !f3.Alarms[core.AlgoRefinedPairs] {
+		t.Fatal("F3: local constraints should not clear the cycle")
+	}
+	if !f3.C4Certified {
+		t.Fatal("F3: constraint 4 must certify")
+	}
+
+	// F4ab: CLG kills the sync-only cycle, so even naive certifies.
+	f4 := byID["F4ab"]
+	if f4.Alarms[core.AlgoNaive] {
+		t.Fatal("F4ab: naive flagged; CLG transform broken")
+	}
+
+	// F4c: stalls but does not deadlock; naive and refined alarm without
+	// cross-task co-execution facts.
+	f4c := byID["F4c"]
+	if f4c.ExactVerdict != "stall" {
+		t.Fatalf("F4c exact=%s", f4c.ExactVerdict)
+	}
+	if !f4c.Alarms[core.AlgoNaive] || !f4c.Alarms[core.AlgoRefined] {
+		t.Fatal("F4c: expected alarms from the masked-SCC detectors")
+	}
+	if f4c.Enumerated || !f4c.EnumComplete {
+		t.Fatal("F4c: the enumeration detector (exact constraint 1c) must certify")
+	}
+	// The enumeration detector must also be safe on the real deadlock and
+	// agree with the certifications elsewhere.
+	if !f2b.Enumerated {
+		t.Fatal("F2b: enumeration detector missed the deadlock")
+	}
+	if f1.Enumerated {
+		t.Fatal("F1: enumeration detector should certify (heads share a sync edge)")
+	}
+
+	// F5bc / F5d: balance verdicts on the raw programs (the transforms
+	// that change them are pinned in internal/stall tests).
+	if byID["F5bc"].StallFlagged {
+		// Both arms carry the same rendezvous: already constant-delta.
+		t.Fatal("F5bc: constant-delta branches should pass the balance check")
+	}
+	if !byID["F5d"].StallFlagged {
+		t.Fatal("F5d: uncertified co-dependence must be flagged")
+	}
+}
+
+func TestExperimentUnrollGrowth(t *testing.T) {
+	rows := exp.RunUnrollGrowth([]int{1, 2, 3, 4}, 4)
+	for _, r := range rows {
+		if r.After != r.Expected {
+			t.Fatalf("depth %d: after=%d expected=%d", r.Depth, r.After, r.Expected)
+		}
+	}
+	// Growth doubles per level for the nested kernel.
+	if rows[1].After-4 != 2*(rows[0].After-4) {
+		t.Fatalf("growth not 2x per depth: %+v", rows)
+	}
+}
+
+func TestExperimentTheoremAgreement(t *testing.T) {
+	t2, err := exp.RunTheorem2Agreement(7, 25, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.Samples == 0 || t2.Agreements != t2.Samples {
+		t.Fatalf("Theorem 2 agreement: %+v", t2)
+	}
+	t3, err := exp.RunTheorem3Agreement(7, 25, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.Samples == 0 || t3.Agreements != t3.Samples {
+		t.Fatalf("Theorem 3 agreement: %+v", t3)
+	}
+}
+
+func TestExperimentPrecisionNoMisses(t *testing.T) {
+	cfg := defaultPrecisionConfig()
+	rows, _, err := exp.RunPrecision(11, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naiveFA, pairsFA int
+	for _, r := range rows {
+		if r.Misses != 0 {
+			t.Fatalf("%v missed %d deadlocks", r.Algorithm, r.Misses)
+		}
+		switch r.Algorithm {
+		case core.AlgoNaive:
+			naiveFA = r.FalseAlarms
+		case core.AlgoRefinedPairs:
+			pairsFA = r.FalseAlarms
+		}
+	}
+	if pairsFA > naiveFA {
+		t.Fatalf("precision order inverted: naive=%d pairs=%d", naiveFA, pairsFA)
+	}
+}
+
+func TestExperimentExactVsStatic(t *testing.T) {
+	rows, err := exp.RunExactVsStatic([]int{1, 2, 3, 4}, 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential growth of the exact state count: 3^n for depth 2.
+	want := 3
+	for _, r := range rows {
+		if r.Truncated {
+			t.Fatalf("truncated at %d pairs", r.Pairs)
+		}
+		if r.ExactStates != want {
+			t.Fatalf("pairs=%d states=%d want=%d", r.Pairs, r.ExactStates, want)
+		}
+		want *= 3
+	}
+}
+
+func defaultPrecisionConfig() workload.Config {
+	return workload.Config{
+		Tasks:        3,
+		StmtsPerTask: 3,
+		Msgs:         2,
+		BranchProb:   0.25,
+		MaxDepth:     2,
+		AcceptRatio:  0.5,
+	}
+}

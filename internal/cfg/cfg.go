@@ -1,0 +1,308 @@
+// Package cfg builds per-task control-flow graphs over rendezvous points,
+// the representation the sync graph's E_C edge set is defined on: a directed
+// edge (r, s) exists iff some control-flow path runs from r to s passing no
+// other rendezvous point (paper §2).
+//
+// Construction is two-phase: a statement-level CFG including virtual nodes
+// for branch joins and loop heads is built first, then contracted so that
+// only rendezvous points and the distinguished entry/exit remain.
+//
+// The package also implements the paper's §3.1.4 loop handling: the
+// anomaly-preserving twice-unroll transform of Lemma 1 (Unroll) and exact
+// expansion of statically bounded loops (ExpandBounded) used by the exact
+// wave explorer.
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lang"
+)
+
+// NodeKind classifies CFG nodes after contraction.
+type NodeKind int
+
+const (
+	// KindEntry is the task's begin point (maps to the sync graph's b).
+	KindEntry NodeKind = iota
+	// KindExit is the task's end point (maps to the sync graph's e).
+	KindExit
+	// KindSend is a signaling rendezvous point (t, m, +).
+	KindSend
+	// KindAccept is an accepting rendezvous point (t, m, -).
+	KindAccept
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindEntry:
+		return "entry"
+	case KindExit:
+		return "exit"
+	case KindSend:
+		return "send"
+	case KindAccept:
+		return "accept"
+	}
+	return "?"
+}
+
+// Node is one contracted CFG node.
+type Node struct {
+	ID    int // index within the task CFG
+	Kind  NodeKind
+	Sig   lang.Signal // receiving task + message, for send/accept nodes
+	Label string      // statement label, for send/accept nodes
+	Pos   lang.Pos
+}
+
+// Sign returns "+" for sends, "-" for accepts, "" otherwise (paper's s).
+func (n *Node) Sign() string {
+	switch n.Kind {
+	case KindSend:
+		return "+"
+	case KindAccept:
+		return "-"
+	}
+	return ""
+}
+
+func (n *Node) String() string {
+	switch n.Kind {
+	case KindEntry:
+		return "b"
+	case KindExit:
+		return "e"
+	}
+	return fmt.Sprintf("%s(%s,%s,%s)", n.Label, n.Sig.Task, n.Sig.Msg, n.Sign())
+}
+
+// TaskCFG is the contracted control-flow graph of a single task.
+// Nodes[Entry] and Nodes[Exit] are the distinguished begin/end points.
+type TaskCFG struct {
+	Task  string
+	Nodes []*Node
+	G     *graph.Digraph // edges over Node.ID
+	Entry int
+	Exit  int
+}
+
+// Rendezvous returns the non-entry/exit nodes in program order.
+func (t *TaskCFG) Rendezvous() []*Node {
+	var out []*Node
+	for _, n := range t.Nodes {
+		if n.Kind == KindSend || n.Kind == KindAccept {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HasLoops reports whether the contracted CFG contains a directed cycle.
+func (t *TaskCFG) HasLoops() bool {
+	ok, _ := t.G.HasCycle()
+	return ok
+}
+
+// ProgramCFG bundles the per-task CFGs of a program.
+type ProgramCFG struct {
+	Prog   *lang.Program
+	Tasks  []*TaskCFG
+	byName map[string]*TaskCFG
+}
+
+// Task returns the CFG of the named task, or nil.
+func (p *ProgramCFG) Task(name string) *TaskCFG { return p.byName[name] }
+
+// NumRendezvous counts rendezvous nodes across all tasks.
+func (p *ProgramCFG) NumRendezvous() int {
+	n := 0
+	for _, t := range p.Tasks {
+		n += len(t.Nodes) - 2
+	}
+	return n
+}
+
+// Build constructs the contracted per-task CFGs for a validated program.
+// Programs using procedures must be inlined first (lang.InlineCalls); the
+// analyses are defined on the paper's intraprocedural model.
+func Build(p *lang.Program) (*ProgramCFG, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Procs) > 0 || p.HasCalls() {
+		return nil, fmt.Errorf("cfg: program has procedures; apply lang.InlineCalls first")
+	}
+	out := &ProgramCFG{Prog: p, byName: map[string]*TaskCFG{}}
+	for _, t := range p.Tasks {
+		tc, err := buildTask(t)
+		if err != nil {
+			return nil, err
+		}
+		out.Tasks = append(out.Tasks, tc)
+		out.byName[t.Name] = tc
+	}
+	return out, nil
+}
+
+// MustBuild is Build that panics on error; for tests and fixed examples.
+func MustBuild(p *lang.Program) *ProgramCFG {
+	c, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// --- statement-level construction ------------------------------------------
+
+// rawNode is a statement-level CFG node; virtual nodes are contracted away.
+type rawNode struct {
+	virtual bool
+	node    *Node // nil for virtual nodes
+}
+
+type rawBuilder struct {
+	task  *lang.Task
+	nodes []rawNode
+	g     *graph.Digraph
+}
+
+func (b *rawBuilder) newVirtual() int {
+	id := b.g.AddNode()
+	b.nodes = append(b.nodes, rawNode{virtual: true})
+	return id
+}
+
+func (b *rawBuilder) newRendezvous(kind NodeKind, sig lang.Signal, label string, pos lang.Pos) int {
+	id := b.g.AddNode()
+	b.nodes = append(b.nodes, rawNode{node: &Node{Kind: kind, Sig: sig, Label: label, Pos: pos}})
+	return id
+}
+
+// buildStmts wires ss between from and to, returning nothing; every path
+// from `from` reaches `to`.
+func (b *rawBuilder) buildStmts(ss []lang.Stmt, from, to int) {
+	cur := from
+	for i, s := range ss {
+		next := to
+		if i < len(ss)-1 {
+			next = b.newVirtual()
+		}
+		b.buildStmt(s, cur, next)
+		cur = next
+	}
+	if len(ss) == 0 {
+		b.g.AddEdgeUnique(from, to)
+	}
+}
+
+func (b *rawBuilder) buildStmt(s lang.Stmt, from, to int) {
+	switch v := s.(type) {
+	case *lang.Null:
+		b.g.AddEdgeUnique(from, to)
+	case *lang.Send:
+		id := b.newRendezvous(KindSend, lang.Signal{Task: v.Target, Msg: v.Msg}, v.Label(), v.Pos)
+		b.g.AddEdgeUnique(from, id)
+		b.g.AddEdgeUnique(id, to)
+	case *lang.Accept:
+		id := b.newRendezvous(KindAccept, lang.Signal{Task: b.task.Name, Msg: v.Msg}, v.Label(), v.Pos)
+		b.g.AddEdgeUnique(from, id)
+		b.g.AddEdgeUnique(id, to)
+	case *lang.If:
+		b.buildStmts(v.Then, from, to)
+		b.buildStmts(v.Else, from, to)
+	case *lang.Loop:
+		// Loop head is a virtual node; the body returns to it and the
+		// head exits the loop, giving every loop the zero-or-more shape.
+		// Exact iteration counts of bounded loops only matter to the
+		// wave explorer, which expands them first (ExpandBounded);
+		// at-least-once loops are widened to zero-or-more, which can
+		// only add control paths and is therefore safe for the
+		// conservative detectors.
+		head := b.newVirtual()
+		b.g.AddEdgeUnique(from, head)
+		b.buildStmts(v.Body, head, head)
+		b.g.AddEdgeUnique(head, to)
+	default:
+		panic(fmt.Sprintf("cfg: unknown statement %T", s))
+	}
+}
+
+func buildTask(t *lang.Task) (*TaskCFG, error) {
+	b := &rawBuilder{task: t, g: graph.New(0)}
+	entry := b.newVirtual()
+	exit := b.newVirtual()
+	b.buildStmts(t.Body, entry, exit)
+
+	// Contract virtual nodes: the final node set is entry, exit and all
+	// rendezvous nodes; an edge u->v exists iff a path of virtual nodes
+	// connects them in the raw graph.
+	tc := &TaskCFG{Task: t.Name}
+	idMap := make([]int, len(b.nodes)) // raw id -> contracted id, -1 virtual
+	for i := range idMap {
+		idMap[i] = -1
+	}
+	addNode := func(raw int, n *Node) int {
+		n.ID = len(tc.Nodes)
+		tc.Nodes = append(tc.Nodes, n)
+		idMap[raw] = n.ID
+		return n.ID
+	}
+	tc.Entry = addNode(entry, &Node{Kind: KindEntry})
+	tc.Exit = addNode(exit, &Node{Kind: KindExit})
+	for raw, rn := range b.nodes {
+		if !rn.virtual {
+			addNode(raw, rn.node)
+		}
+	}
+	tc.G = graph.New(len(tc.Nodes))
+
+	// For each real node (and entry), DFS through virtual nodes to find the
+	// set of next real nodes.
+	for raw, rn := range b.nodes {
+		if rn.virtual && raw != entry {
+			continue
+		}
+		if raw == exit {
+			continue
+		}
+		src := idMap[raw]
+		seen := make([]bool, len(b.nodes))
+		stack := append([]int(nil), b.g.Succ(raw)...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if idMap[v] != -1 { // real node (or exit)
+				tc.G.AddEdgeUnique(src, idMap[v])
+				continue
+			}
+			stack = append(stack, b.g.Succ(v)...)
+		}
+	}
+	return tc, nil
+}
+
+// IsReducible reports whether the flowgraph g rooted at entry is reducible:
+// after removing back edges (u->v with v dominating u), the graph must be
+// acyclic. MiniAda's structured syntax always yields reducible CFGs; the
+// check exists because the paper's assumptions demand it be verifiable.
+func IsReducible(g *graph.Digraph, entry int) bool {
+	idom := g.Dominators(entry)
+	fwd := graph.New(g.N())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Succ(u) {
+			if graph.Dominates(idom, entry, v, u) {
+				continue // back edge
+			}
+			fwd.AddEdge(u, v)
+		}
+	}
+	cyc, _ := fwd.HasCycle()
+	return !cyc
+}

@@ -1,0 +1,117 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func TestNodeStringers(t *testing.T) {
+	for k, want := range map[NodeKind]string{
+		KindEntry: "entry", KindExit: "exit", KindSend: "send", KindAccept: "accept",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+	if NodeKind(99).String() != "?" {
+		t.Fatal("unknown kind")
+	}
+	n := &Node{Kind: KindSend, Sig: lang.Signal{Task: "t", Msg: "m"}, Label: "x"}
+	if n.Sign() != "+" || !strings.Contains(n.String(), "(t,m,+)") {
+		t.Fatalf("%s / %s", n.Sign(), n)
+	}
+	a := &Node{Kind: KindAccept, Sig: lang.Signal{Task: "t", Msg: "m"}}
+	if a.Sign() != "-" {
+		t.Fatal("accept sign")
+	}
+	if (&Node{Kind: KindEntry}).String() != "b" || (&Node{Kind: KindExit}).String() != "e" {
+		t.Fatal("entry/exit names")
+	}
+	if (&Node{Kind: KindEntry}).Sign() != "" {
+		t.Fatal("entry sign")
+	}
+}
+
+func TestMustBuild(t *testing.T) {
+	p := lang.MustParse("task a is begin null; end;")
+	if MustBuild(p) == nil {
+		t.Fatal("nil result")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid input")
+		}
+	}()
+	MustBuild(&lang.Program{})
+}
+
+func TestBuildRejectsProcedures(t *testing.T) {
+	p := lang.MustParse(`
+procedure q is
+begin
+  null;
+end;
+task a is
+begin
+  call q;
+end;
+`)
+	if _, err := Build(p); err == nil {
+		t.Fatal("un-inlined program accepted")
+	}
+	if _, err := Build(p.InlineCalls()); err != nil {
+		t.Fatalf("inlined program rejected: %v", err)
+	}
+}
+
+func TestExpandBoundedNestedLimit(t *testing.T) {
+	// Nested bounded loops multiply: inner counts within outer copies.
+	p := lang.MustParse(`
+task a is
+begin
+  loop 2 times
+    loop 3 times
+      b.m;
+    end loop;
+  end loop;
+end;
+task b is
+begin
+  loop 6 times
+    accept m;
+  end loop;
+end;
+`)
+	e, err := ExpandBounded(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countSends(e.TaskByName("a").Body); n != 6 {
+		t.Fatalf("sends=%d, want 6", n)
+	}
+	// A branch inside a bounded loop survives expansion.
+	p2 := lang.MustParse(`
+task a is
+begin
+  loop 2 times
+    if c then
+      b.m;
+    end if;
+  end loop;
+end;
+task b is
+begin
+  accept m;
+  accept m;
+end;
+`)
+	e2, err := ExpandBounded(p2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countSends(e2.TaskByName("a").Body); n != 2 {
+		t.Fatalf("conditional sends=%d, want 2", n)
+	}
+}

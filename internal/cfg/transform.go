@@ -1,0 +1,205 @@
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Unroll applies the paper's Lemma 1 anomaly-preserving transform: every
+// loop is unrolled twice, recursively from innermost to outermost nest
+// levels, producing a loop-free program whose sync graph contains exactly
+// the deadlock cycles of the original program's linearized executions.
+//
+// Each unrolled copy is guarded so that paths taking zero, one or two
+// iterations all exist, and the second copy is nested inside the first
+// (iteration two cannot happen without iteration one), matching real loop
+// execution orders. A bounded "loop 1 times" unrolls to a single mandatory
+// copy; "loop n times" with n >= 2 unrolls to copy; guarded copy, since
+// what Lemma 1 needs is (a) a path around the loop when zero iterations are
+// possible, (b) paths within one iteration, and (c) a path crossing from
+// one iteration into the next.
+//
+// The input is not mutated. Labels of duplicated rendezvous statements get
+// "#1" / "#2" iteration suffixes so nodes stay distinguishable.
+func Unroll(p *lang.Program) *lang.Program {
+	q := p.Clone()
+	for _, t := range q.Tasks {
+		t.Body = unrollStmts(t.Body)
+	}
+	return q
+}
+
+func unrollStmts(ss []lang.Stmt) []lang.Stmt {
+	var out []lang.Stmt
+	for _, s := range ss {
+		switch v := s.(type) {
+		case *lang.If:
+			v.Then = unrollStmts(v.Then)
+			v.Else = unrollStmts(v.Else)
+			out = append(out, v)
+		case *lang.Loop:
+			body := unrollStmts(v.Body) // innermost first
+			first := relabel(lang.CloneStmts(body), "#1")
+			second := relabel(lang.CloneStmts(body), "#2")
+			switch {
+			case v.Count == 1:
+				out = append(out, first...)
+			case v.Count >= 2 || v.AtLeastOnce:
+				// At least one trip: first copy mandatory, second guarded.
+				out = append(out, first...)
+				out = append(out, &lang.If{Cond: condName(v, "again"), Then: second, Pos: v.Pos})
+			default:
+				// Zero or more trips: both copies guarded, nested.
+				inner := &lang.If{Cond: condName(v, "again"), Then: second, Pos: v.Pos}
+				out = append(out, &lang.If{
+					Cond: condName(v, "enter"),
+					Then: append(first, inner),
+					Pos:  v.Pos,
+				})
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func condName(l *lang.Loop, suffix string) string {
+	if l.Cond != "" {
+		return l.Cond + "_" + suffix
+	}
+	return "loop_" + suffix
+}
+
+func relabel(ss []lang.Stmt, suffix string) []lang.Stmt {
+	var walk func(ss []lang.Stmt)
+	walk = func(ss []lang.Stmt) {
+		for _, s := range ss {
+			switch v := s.(type) {
+			case *lang.Send, *lang.Accept:
+				if s.Label() != "" {
+					s.SetLabel(s.Label() + suffix)
+				}
+				_ = v
+			case *lang.If:
+				walk(v.Then)
+				walk(v.Else)
+			case *lang.Loop:
+				walk(v.Body)
+			}
+		}
+	}
+	walk(ss)
+	return ss
+}
+
+// ExpandBounded fully expands every "loop n times" into n sequential copies
+// of its body (innermost first), leaving while-loops untouched. The exact
+// wave explorer uses this so that bounded iteration counts are honored
+// precisely. Expansion is refused above limit total copies per loop to
+// bound blowup; limit <= 0 means 64.
+func ExpandBounded(p *lang.Program, limit int) (*lang.Program, error) {
+	if limit <= 0 {
+		limit = 64
+	}
+	q := p.Clone()
+	for _, t := range q.Tasks {
+		body, err := expandStmts(t.Body, limit)
+		if err != nil {
+			return nil, fmt.Errorf("cfg: task %s: %w", t.Name, err)
+		}
+		t.Body = body
+	}
+	return q, nil
+}
+
+func expandStmts(ss []lang.Stmt, limit int) ([]lang.Stmt, error) {
+	var out []lang.Stmt
+	for _, s := range ss {
+		switch v := s.(type) {
+		case *lang.If:
+			var err error
+			if v.Then, err = expandStmts(v.Then, limit); err != nil {
+				return nil, err
+			}
+			if v.Else, err = expandStmts(v.Else, limit); err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case *lang.Loop:
+			body, err := expandStmts(v.Body, limit)
+			if err != nil {
+				return nil, err
+			}
+			if v.Count == 0 {
+				v.Body = body
+				out = append(out, v)
+				continue
+			}
+			if v.Count > limit {
+				return nil, fmt.Errorf("loop count %d exceeds expansion limit %d", v.Count, limit)
+			}
+			for i := 1; i <= v.Count; i++ {
+				out = append(out, relabel(lang.CloneStmts(body), fmt.Sprintf("#i%d", i))...)
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// HasLoops reports whether any task of the program contains a loop
+// statement.
+func HasLoops(p *lang.Program) bool {
+	found := false
+	var walk func(ss []lang.Stmt)
+	walk = func(ss []lang.Stmt) {
+		for _, s := range ss {
+			switch v := s.(type) {
+			case *lang.Loop:
+				found = true
+			case *lang.If:
+				walk(v.Then)
+				walk(v.Else)
+				_ = v
+			}
+		}
+	}
+	for _, t := range p.Tasks {
+		walk(t.Body)
+	}
+	return found
+}
+
+// MaxLoopDepth returns the deepest loop nesting level in the program.
+func MaxLoopDepth(p *lang.Program) int {
+	var depth func(ss []lang.Stmt) int
+	depth = func(ss []lang.Stmt) int {
+		d := 0
+		for _, s := range ss {
+			switch v := s.(type) {
+			case *lang.Loop:
+				if n := 1 + depth(v.Body); n > d {
+					d = n
+				}
+			case *lang.If:
+				if n := depth(v.Then); n > d {
+					d = n
+				}
+				if n := depth(v.Else); n > d {
+					d = n
+				}
+			}
+		}
+		return d
+	}
+	max := 0
+	for _, t := range p.Tasks {
+		if n := depth(t.Body); n > max {
+			max = n
+		}
+	}
+	return max
+}

@@ -1,0 +1,238 @@
+// Package clg implements the cycle location graph (paper §3.1): a
+// transformed sync graph in which every rendezvous node r is split into an
+// incoming half r_i (all sync edges arrive here) and an outgoing half r_o
+// (all sync edges leave here), connected r_o -> r_i. The split enforces
+// deadlock constraint 1b structurally: a node entered through a sync edge
+// can only be left through a control-flow edge, so every directed cycle in
+// the CLG traverses at least one control edge inside each task it visits.
+//
+// The naive deadlock detection algorithm is then simply: the program may
+// deadlock only if its CLG has a directed cycle (for loop-free programs,
+// obtained via cfg.Unroll when necessary).
+package clg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/sg"
+)
+
+// CLG is a cycle location graph derived from a sync graph.
+type CLG struct {
+	SG *sg.Graph
+	G  *graph.Digraph
+	B  int
+	E  int
+
+	// In and Out map sync-graph node ids to their split CLG halves.
+	// For b and e both map to the single unsplit node.
+	In  []int
+	Out []int
+	// Orig maps CLG node ids back to sync-graph node ids.
+	Orig []int
+	// IsIn marks CLG nodes that are incoming halves.
+	IsIn []bool
+
+	syncEdges map[int64]bool
+}
+
+func key(u, v int) int64 { return int64(u)<<32 | int64(uint32(v)) }
+
+// Build constructs the CLG of a sync graph by the paper's six steps.
+func Build(s *sg.Graph) *CLG {
+	c := &CLG{
+		SG:        s,
+		G:         graph.New(0),
+		In:        make([]int, s.N()),
+		Out:       make([]int, s.N()),
+		syncEdges: map[int64]bool{},
+	}
+	add := func(orig int, isIn bool) int {
+		id := c.G.AddNode()
+		c.Orig = append(c.Orig, orig)
+		c.IsIn = append(c.IsIn, isIn)
+		return id
+	}
+
+	// Steps 1-3: distinguished nodes, split pairs, internal edges.
+	c.B = add(s.B, false)
+	c.E = add(s.E, false)
+	c.In[s.B], c.Out[s.B] = c.B, c.B
+	c.In[s.E], c.Out[s.E] = c.E, c.E
+	for _, n := range s.Nodes {
+		if !n.IsRendezvous() {
+			continue
+		}
+		ri := add(n.ID, true)
+		ro := add(n.ID, false)
+		c.In[n.ID], c.Out[n.ID] = ri, ro
+		c.G.AddEdge(ro, ri)
+	}
+
+	// Steps 4-5: control edges.
+	for u := 0; u < s.Control.N(); u++ {
+		for _, v := range s.Control.Succ(u) {
+			switch {
+			case u == s.B && v == s.E:
+				c.G.AddEdgeUnique(c.B, c.E)
+			case u == s.B:
+				c.G.AddEdgeUnique(c.B, c.Out[v])
+			case v == s.E:
+				c.G.AddEdgeUnique(c.In[u], c.E)
+			default:
+				c.G.AddEdgeUnique(c.In[u], c.Out[v])
+			}
+		}
+	}
+
+	// Step 6: sync edges, both directions.
+	for u, adj := range s.Sync {
+		for _, v := range adj {
+			if u < v {
+				c.addSync(c.Out[u], c.In[v])
+				c.addSync(c.Out[v], c.In[u])
+			}
+		}
+	}
+	return c
+}
+
+func (c *CLG) addSync(u, v int) {
+	c.G.AddEdgeUnique(u, v)
+	c.syncEdges[key(u, v)] = true
+}
+
+// IsSyncEdge reports whether the CLG edge u->v derives from a sync edge.
+func (c *CLG) IsSyncEdge(u, v int) bool { return c.syncEdges[key(u, v)] }
+
+// N returns the CLG node count.
+func (c *CLG) N() int { return c.G.N() }
+
+// M returns the CLG edge count.
+func (c *CLG) M() int { return c.G.M() }
+
+// HasCycle reports whether the CLG has any directed cycle and returns a
+// witness as sync-graph node ids (deduplicated, first repeated last).
+// This is the naive deadlock detector: acyclic CLG proves deadlock freedom
+// for loop-free programs (constraints 1a and 1b hold on any cycle found).
+func (c *CLG) HasCycle() (bool, []int) {
+	ok, cyc := c.G.HasCycle()
+	if !ok {
+		return false, nil
+	}
+	return true, c.toSyncNodes(cyc)
+}
+
+// toSyncNodes maps a CLG node sequence back to sync-graph node ids,
+// collapsing the i/o halves of each node.
+func (c *CLG) toSyncNodes(path []int) []int {
+	var out []int
+	for _, v := range path {
+		o := c.Orig[v]
+		if len(out) > 0 && out[len(out)-1] == o {
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// Cycles returns one representative cycle per nontrivial strongly-connected
+// component, as sync-graph node id sets, for reporting.
+func (c *CLG) Cycles() [][]int {
+	comp, ncomp := c.G.SCC()
+	sizes := graph.SCCSizes(comp, ncomp)
+	members := make([][]int, ncomp)
+	for v, cc := range comp {
+		if sizes[cc] > 1 {
+			members[cc] = append(members[cc], v)
+		}
+	}
+	var out [][]int
+	for _, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		set := map[int]bool{}
+		var nodes []int
+		for _, v := range m {
+			o := c.Orig[v]
+			if !set[o] {
+				set[o] = true
+				nodes = append(nodes, o)
+			}
+		}
+		out = append(out, nodes)
+	}
+	return out
+}
+
+// SyncGraphHasCycle runs the naive pre-CLG check of §3.1: a depth-first
+// traversal of the *untransformed* sync graph treating sync edges as
+// bidirectional. It finds spurious cycles like Figure 4(a); the CLG exists
+// precisely to kill them. Exposed for the F4 experiment.
+func SyncGraphHasCycle(s *sg.Graph) bool {
+	g := graph.New(s.N())
+	for u := 0; u < s.Control.N(); u++ {
+		for _, v := range s.Control.Succ(u) {
+			g.AddEdgeUnique(u, v)
+		}
+	}
+	for u, adj := range s.Sync {
+		for _, v := range adj {
+			g.AddEdgeUnique(u, v)
+		}
+	}
+	// A cycle that uses one sync edge back and forth (u->v->u) is not a
+	// meaningful cycle; require a cycle visiting >= 2 distinct nodes via
+	// SCC and, for 2-node components, at least one control edge.
+	comp, ncomp := g.SCC()
+	sizes := graph.SCCSizes(comp, ncomp)
+	members := make([][]int, ncomp)
+	for v, cc := range comp {
+		members[cc] = append(members[cc], v)
+	}
+	for cc, m := range members {
+		if sizes[cc] < 2 {
+			continue
+		}
+		if sizes[cc] > 2 {
+			return true
+		}
+		u, v := m[0], m[1]
+		if s.Control.HasEdge(u, v) || s.Control.HasEdge(v, u) {
+			return true
+		}
+		// Two nodes joined only by a sync edge: u<->v is an artifact of
+		// treating the undirected edge as two arcs, not a cycle.
+	}
+	return false
+}
+
+// DOT renders the CLG in Graphviz format; sync-derived edges are dashed.
+func (c *CLG) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph clg {\n")
+	for v := 0; v < c.G.N(); v++ {
+		name := c.SG.Nodes[c.Orig[v]].String()
+		if c.IsIn[v] {
+			name += "_i"
+		} else if v != c.B && v != c.E {
+			name += "_o"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", v, name)
+	}
+	for u := 0; u < c.G.N(); u++ {
+		for _, v := range c.G.Succ(u) {
+			style := ""
+			if c.IsSyncEdge(u, v) {
+				style = " [style=dashed]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", u, v, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

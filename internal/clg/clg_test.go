@@ -1,0 +1,216 @@
+package clg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/sg"
+)
+
+func fromSrc(t *testing.T, src string) (*sg.Graph, *CLG) {
+	t.Helper()
+	g := sg.MustFromProgram(lang.MustParse(src))
+	return g, Build(g)
+}
+
+const handshake = `
+task t1 is
+begin
+  r: t2.sig1;
+  s: accept sig2;
+end;
+task t2 is
+begin
+  u: accept sig1;
+  v: t1.sig2;
+end;
+`
+
+func TestCLGSizes(t *testing.T) {
+	g, c := fromSrc(t, handshake)
+	// 2 distinguished + 2 per rendezvous node.
+	wantN := 2 + 2*(g.N()-2)
+	if c.N() != wantN {
+		t.Fatalf("N=%d, want %d", c.N(), wantN)
+	}
+	// Edges: 4 internal (r_o->r_i) + control (b->r_o etc.) + 2 per sync edge.
+	// Control: b->r, r->s, s->e, b->u, u->v, v->e => 6 transformed edges.
+	wantM := 4 + 6 + 2*g.NumSyncEdges()
+	if c.M() != wantM {
+		t.Fatalf("M=%d, want %d", c.M(), wantM)
+	}
+}
+
+func TestCLGInternalEdges(t *testing.T) {
+	g, c := fromSrc(t, handshake)
+	r := g.NodeByLabel("r")
+	if !c.G.HasEdge(c.Out[r], c.In[r]) {
+		t.Fatal("internal r_o->r_i edge missing")
+	}
+	if c.G.HasEdge(c.In[r], c.Out[r]) {
+		t.Fatal("reverse internal edge must not exist")
+	}
+}
+
+func TestCLGSyncEdgeDirections(t *testing.T) {
+	g, c := fromSrc(t, handshake)
+	r, u := g.NodeByLabel("r"), g.NodeByLabel("u")
+	if !c.G.HasEdge(c.Out[r], c.In[u]) || !c.G.HasEdge(c.Out[u], c.In[r]) {
+		t.Fatal("sync edge pair missing")
+	}
+	if !c.IsSyncEdge(c.Out[r], c.In[u]) {
+		t.Fatal("sync edge not marked")
+	}
+	if c.IsSyncEdge(c.Out[r], c.In[r]) {
+		t.Fatal("internal edge marked as sync")
+	}
+}
+
+func TestHandshakeHasNoCLGCycle(t *testing.T) {
+	// The correct handshake (send-first paired with accept-first) is
+	// deadlock-free and its CLG is acyclic.
+	_, c := fromSrc(t, handshake)
+	if ok, cyc := c.HasCycle(); ok {
+		t.Fatalf("spurious cycle %v", cyc)
+	}
+	if len(c.Cycles()) != 0 {
+		t.Fatal("Cycles nonempty")
+	}
+}
+
+func TestReversedHandshakeHasCycle(t *testing.T) {
+	// Both tasks accept first: the classic real deadlock (Figure 2(b)).
+	_, c := fromSrc(t, `
+task t1 is
+begin
+  r: accept sig1;
+  s: t2.sig2;
+end;
+task t2 is
+begin
+  u: accept sig2;
+  v: t1.sig1;
+end;
+`)
+	ok, cyc := c.HasCycle()
+	if !ok {
+		t.Fatal("deadlock cycle not found")
+	}
+	if len(cyc) < 4 {
+		t.Fatalf("cycle %v too short", cyc)
+	}
+	if len(c.Cycles()) != 1 {
+		t.Fatalf("cycles=%v", c.Cycles())
+	}
+}
+
+// Figure 4(a)/(b): a cycle existing only through sync edges is found by a
+// naive traversal of the sync graph, but the CLG is acyclic.
+const figure4a = `
+task A is
+begin
+  s: accept m;
+  u: accept m;
+end;
+task B is
+begin
+  r: A.m;
+end;
+task C is
+begin
+  t: A.m;
+end;
+`
+
+func TestFigure4SpuriousSyncCycle(t *testing.T) {
+	g, c := fromSrc(t, figure4a)
+	if !SyncGraphHasCycle(g) {
+		t.Fatal("naive sync-graph traversal should find the spurious cycle")
+	}
+	if ok, cyc := c.HasCycle(); ok {
+		t.Fatalf("CLG must kill the spurious cycle, found %v", cyc)
+	}
+}
+
+func TestSyncGraphCycleIgnoresSingleEdgeBounce(t *testing.T) {
+	// One send, one accept: u<->v from the undirected sync edge must not
+	// count as a cycle.
+	g, _ := fromSrc(t, `
+task A is
+begin
+  accept m;
+end;
+task B is
+begin
+  A.m;
+end;
+`)
+	if SyncGraphHasCycle(g) {
+		t.Fatal("single sync edge misreported as cycle")
+	}
+}
+
+func TestConstraint1bEnforced(t *testing.T) {
+	// A path entering a node via sync edge cannot leave via sync edge:
+	// verify no CLG edge sequence sync-in -> sync-out exists at one node.
+	g, c := fromSrc(t, figure4a)
+	for _, n := range g.Nodes {
+		if !n.IsRendezvous() {
+			continue
+		}
+		in, out := c.In[n.ID], c.Out[n.ID]
+		// in's successors must all be non-sync (control or internal).
+		for _, w := range c.G.Succ(in) {
+			if c.IsSyncEdge(in, w) {
+				t.Fatalf("node %v: sync edge leaves the incoming half", n)
+			}
+		}
+		// out's predecessors must never be reached by sync (sync edges
+		// only enter _i nodes).
+		for _, pred := range c.G.Pred(out) {
+			if c.IsSyncEdge(pred, out) {
+				t.Fatalf("node %v: sync edge enters the outgoing half", n)
+			}
+		}
+	}
+}
+
+func TestCyclesReportsSCCMembers(t *testing.T) {
+	g, c := fromSrc(t, `
+task t1 is
+begin
+  r: accept sig1;
+  s: t2.sig2;
+end;
+task t2 is
+begin
+  u: accept sig2;
+  v: t1.sig1;
+end;
+`)
+	cycles := c.Cycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles=%d", len(cycles))
+	}
+	want := map[int]bool{
+		g.NodeByLabel("r"): true, g.NodeByLabel("s"): true,
+		g.NodeByLabel("u"): true, g.NodeByLabel("v"): true,
+	}
+	if len(cycles[0]) != 4 {
+		t.Fatalf("cycle members=%v", cycles[0])
+	}
+	for _, id := range cycles[0] {
+		if !want[id] {
+			t.Fatalf("unexpected member %d", id)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	_, c := fromSrc(t, handshake)
+	dot := c.DOT()
+	if !strings.Contains(dot, "digraph clg") || !strings.Contains(dot, "_i") {
+		t.Fatalf("bad DOT:\n%s", dot)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/waves"
+)
+
+// Figure 3 reconstruction: the cycle r,s,t,u is valid under constraints
+// 1-3, but task W's single node w can only rendezvous with t or with v
+// (which must execute after t), so whenever the cycle's heads are stuck,
+// w is ready and breaks the deadlock.
+//
+//	T1: r: accept mr; s: T2.mt
+//	T2: t: accept mt; u: T1.mr; v: accept mt
+//	W : w: T2.mt
+const figure3 = `
+task T1 is
+begin
+  r: accept mr;
+  s: T2.mt;
+end;
+task T2 is
+begin
+  t: accept mt;
+  u: T1.mr;
+  v: accept mt;
+end;
+task W is
+begin
+  w: T2.mt;
+end;
+`
+
+func TestFigure3CycleSurvivesLocalConstraints(t *testing.T) {
+	a := analyzer(t, figure3)
+	// Constraints 1-3 leave the cycle alive across the local spectrum.
+	for _, algo := range []Algorithm{AlgoNaive, AlgoRefined, AlgoRefinedPairs} {
+		if v := a.Run(algo); !v.MayDeadlock {
+			t.Fatalf("%v unexpectedly certified figure 3 (cycle is valid under local constraints)", algo)
+		}
+	}
+}
+
+func TestFigure3BrokenByConstraint4(t *testing.T) {
+	a := analyzer(t, figure3)
+	cycles, complete := a.EnumerateCycles(0)
+	if !complete {
+		t.Fatal("enumeration truncated on a tiny graph")
+	}
+	if len(cycles) == 0 {
+		t.Fatal("no cycles found")
+	}
+	// The r,s,t,u cycle must be among them with heads {r, t}.
+	r, tt := a.SG.NodeByLabel("r"), a.SG.NodeByLabel("t")
+	found := false
+	for _, ci := range cycles {
+		heads := map[int]bool{}
+		for _, h := range ci.Heads {
+			heads[h] = true
+		}
+		if heads[r] && heads[tt] && len(ci.Nodes) == 4 {
+			found = true
+			breaker, ok := a.BreakableByOutsider(ci)
+			if !ok {
+				t.Fatal("figure 3 cycle not recognized as breakable")
+			}
+			if breaker != a.SG.NodeByLabel("w") {
+				t.Fatalf("breaker=%v, want w", a.SG.Nodes[breaker])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("r,s,t,u cycle missing from %d enumerated cycles", len(cycles))
+	}
+	free, conclusive := a.Constraint4Certify(0)
+	if !conclusive || !free {
+		t.Fatalf("constraint 4 certification failed: free=%v conclusive=%v", free, conclusive)
+	}
+	// Ground truth agrees.
+	res, err := waves.ExploreProgram(lang.MustParse(figure3), waves.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock {
+		t.Fatal("figure 3 program must be deadlock-free")
+	}
+}
+
+func TestConstraint4DoesNotBreakRealDeadlock(t *testing.T) {
+	a := analyzer(t, reversedHandshake)
+	free, conclusive := a.Constraint4Certify(0)
+	if !conclusive {
+		t.Fatal("enumeration should complete")
+	}
+	if free {
+		t.Fatal("constraint 4 wrongly certified a real deadlock")
+	}
+}
+
+func TestConstraint4RequiresOutsideTask(t *testing.T) {
+	// Like figure 3 but the extra sender w lives inside T1, i.e. inside a
+	// cycle task, so it does not qualify as a breaker... and indeed the
+	// modified program can deadlock (T1 may take the w-path first? no —
+	// straight-line: r;s;w2). Place the extra same-type send after s in
+	// T1: whenever the wave is (r, t), w2 is unreached, so the deadlock
+	// is real.
+	a := analyzer(t, `
+task T1 is
+begin
+  r: accept mr;
+  s: T2.mt;
+  w2: T2.mt;
+end;
+task T2 is
+begin
+  t: accept mt;
+  u: T1.mr;
+  v: accept mt;
+end;
+`)
+	free, conclusive := a.Constraint4Certify(0)
+	if conclusive && free {
+		t.Fatal("certified without a valid outside breaker")
+	}
+	res, err := waves.ExploreProgram(lang.MustParse(`
+task T1 is
+begin
+  r: accept mr;
+  s: T2.mt;
+  w2: T2.mt;
+end;
+task T2 is
+begin
+  t: accept mt;
+  u: T1.mr;
+  v: accept mt;
+end;
+`), waves.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlock {
+		t.Fatal("expected a real deadlock once the breaker moved inside the cycle")
+	}
+}
+
+func TestConstraint4BreakerMustBeUnconditionalFirst(t *testing.T) {
+	// The breaker sits behind another rendezvous in its task: it is not
+	// guaranteed ready, so certification must be declined. (Here W first
+	// waits for a signal that only T1 can send after r — the deadlock
+	// wave (r, t, pre) is real.)
+	a := analyzer(t, `
+task T1 is
+begin
+  r: accept mr;
+  s: T2.mt;
+end;
+task T2 is
+begin
+  t: accept mt;
+  u: T1.mr;
+  v: accept mt;
+end;
+task W is
+begin
+  pre: accept unlock;
+  w: T2.mt;
+end;
+`)
+	free, conclusive := a.Constraint4Certify(0)
+	if conclusive && free {
+		t.Fatal("guarded breaker accepted")
+	}
+}
+
+func TestEnumerateCyclesLimit(t *testing.T) {
+	a := analyzer(t, figure1Class)
+	_, complete := a.EnumerateCycles(1)
+	// With limit 1 on a graph whose SCC holds >= 1 cycle, enumeration may
+	// stop early; it must then report incompleteness... the single cycle
+	// case returns complete. Force a tiny limit sanity check only.
+	_ = complete
+	cycles, _ := a.EnumerateCycles(0)
+	if len(cycles) == 0 {
+		t.Fatal("no cycles on figure-1 class graph")
+	}
+	for _, ci := range cycles {
+		if len(ci.Heads) != len(ci.Tails) {
+			t.Fatalf("head/tail mismatch: %+v", ci)
+		}
+		if len(ci.Heads) < 2 {
+			t.Fatalf("cycle with < 2 heads: %+v", ci)
+		}
+	}
+}

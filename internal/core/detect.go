@@ -1,0 +1,538 @@
+// Package core implements the paper's two polynomial-time deadlock
+// detection algorithms and the extension spectrum of §4.2.
+//
+// Naive (§3.1): the program may deadlock only if its cycle location graph
+// has a directed cycle. Refined (§4.2): for every hypothesized head node h,
+// nodes sequenceable with h are blocked from acting as heads (sync edge
+// into k_i removed), same-type co-accepts are blocked from sync traversal
+// entirely, and nodes that cannot co-execute with h are removed; h is a
+// possible deadlock head only if a strong component through h_i survives.
+// Extensions hypothesize head pairs, head–tail pairs, and two head–tail
+// pairs, trading time for precision exactly as the paper describes.
+//
+// All detectors are conservative: they never report "deadlock-free" for a
+// program that can deadlock (property-tested against the exact wave
+// explorer), but may report possible deadlocks that cannot occur.
+//
+// Every algorithm expects a loop-free sync graph; apply cfg.Unroll first
+// (Analyze in the facade package does this automatically).
+package core
+
+import (
+	"sort"
+
+	"repro/internal/clg"
+	"repro/internal/order"
+	"repro/internal/sg"
+)
+
+// Algorithm names the detection variants, in increasing precision/cost.
+type Algorithm int
+
+const (
+	// AlgoNaive is CLG cycle detection (constraint 1 only).
+	AlgoNaive Algorithm = iota
+	// AlgoRefined hypothesizes single head nodes (the paper's main
+	// algorithm, approximating constraints 2 and 3a).
+	AlgoRefined
+	// AlgoRefinedPairs hypothesizes pairs of head nodes.
+	AlgoRefinedPairs
+	// AlgoRefinedHeadTail hypothesizes head-tail node pairs.
+	AlgoRefinedHeadTail
+	// AlgoRefinedHeadTailPairs hypothesizes two head-tail pairs (k = 2).
+	AlgoRefinedHeadTailPairs
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoNaive:
+		return "naive"
+	case AlgoRefined:
+		return "refined"
+	case AlgoRefinedPairs:
+		return "refined+head-pairs"
+	case AlgoRefinedHeadTail:
+		return "refined+head-tail"
+	case AlgoRefinedHeadTailPairs:
+		return "refined+head-tail-pairs"
+	case AlgoRefinedKPairs:
+		return "refined+k-pairs"
+	case AlgoEnumerate:
+		return "enumerate"
+	}
+	return "?"
+}
+
+// Verdict is the outcome of one detection run.
+type Verdict struct {
+	Algorithm Algorithm
+	// MayDeadlock is true unless the program was certified deadlock-free.
+	MayDeadlock bool
+	// Witnesses holds, per surviving hypothesis, the sync-graph node ids
+	// of a strong component supporting a possible deadlock (deduplicated).
+	Witnesses [][]int
+	// Hypotheses counts head (or pair) hypotheses tested; SCCRuns counts
+	// masked strong-component searches performed.
+	Hypotheses int
+	SCCRuns    int
+}
+
+// Analyzer bundles a sync graph with its derived structures so the
+// detection spectrum can be run without recomputing them. An Analyzer is
+// not safe for concurrent use: hypothesis masks and the strong-component
+// search reuse epoch-stamped scratch buffers across runs.
+type Analyzer struct {
+	SG  *sg.Graph
+	CLG *clg.CLG
+	Ord *order.Info
+
+	scratch struct {
+		epoch       int
+		blocked     []int // DO-NOT-ENTER, valid when == epoch
+		noSyncInto  []int
+		noSyncOutOf []int
+
+		sccEpoch int
+		visited  []int // Tarjan visitation stamp
+		index    []int
+		low      []int
+		onStack  []bool
+		compOf   []int
+		stack    []int
+		frames   []sccFrame
+	}
+}
+
+type sccFrame struct {
+	v  int
+	ei int
+}
+
+// NewAnalyzer builds the CLG and ordering facts for g. The sync graph must
+// be loop-free for the refined detectors to gain any precision; with
+// control cycles they degrade (safely) toward the naive answer.
+func NewAnalyzer(g *sg.Graph) *Analyzer {
+	return &Analyzer{SG: g, CLG: clg.Build(g), Ord: order.Compute(g)}
+}
+
+// PossibleHeads returns the paper's POSS-HEADS set: rendezvous nodes with
+// at least one sync edge that are the tail of at least one control edge
+// leading to another rendezvous node.
+func (a *Analyzer) PossibleHeads() []int {
+	g := a.SG
+	var out []int
+	for _, n := range g.Nodes {
+		if !n.IsRendezvous() || len(g.Sync[n.ID]) == 0 {
+			continue
+		}
+		for _, s := range g.Control.Succ(n.ID) {
+			if s != g.E && g.Nodes[s].IsRendezvous() {
+				out = append(out, n.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Naive runs CLG cycle detection.
+func (a *Analyzer) Naive() Verdict {
+	v := Verdict{Algorithm: AlgoNaive}
+	v.Witnesses = a.CLG.Cycles()
+	v.MayDeadlock = len(v.Witnesses) > 0
+	v.Hypotheses = 1
+	v.SCCRuns = 1
+	return v
+}
+
+// mask holds the per-hypothesis CLG markings, epoch-stamped into the
+// analyzer's scratch buffers so successive hypotheses reuse memory.
+type mask struct {
+	a     *Analyzer
+	epoch int
+}
+
+func (m *mask) block(v int)          { m.a.scratch.blocked[v] = m.epoch }
+func (m *mask) blockSyncInto(v int)  { m.a.scratch.noSyncInto[v] = m.epoch }
+func (m *mask) blockSyncOutOf(v int) { m.a.scratch.noSyncOutOf[v] = m.epoch }
+func (m *mask) isBlocked(v int) bool { return m.a.scratch.blocked[v] == m.epoch }
+func (m *mask) noSyncIn(v int) bool  { return m.a.scratch.noSyncInto[v] == m.epoch }
+func (m *mask) noSyncOut(v int) bool { return m.a.scratch.noSyncOutOf[v] == m.epoch }
+
+func (a *Analyzer) newMask() *mask {
+	n := a.CLG.N()
+	s := &a.scratch
+	if len(s.blocked) < n {
+		s.blocked = make([]int, n)
+		s.noSyncInto = make([]int, n)
+		s.noSyncOutOf = make([]int, n)
+	}
+	s.epoch++
+	return &mask{a: a, epoch: s.epoch}
+}
+
+// markHead applies the single-head markings for hypothesized head h:
+//   - SEQUENCEABLE[h]: cannot be heads of the same cycle (constraint 3a),
+//     so sync edges into k_i are blocked. Blocking k's outgoing sync edge
+//     too, as the paper's main-loop text literally reads, would also
+//     forbid k as a *tail* and is demonstrably unsound (see DESIGN.md);
+//     the paper's own head-tail extension marks only r_i, which we follow.
+//   - COACCEPT[h]: same-type accepts cannot carry the cycle out of h's
+//     task without forcing a constraint-2 violation (Lemma 2), so both
+//     halves lose sync traversal.
+//   - NOT-COEXEC[h]: cannot appear in any run with h (constraint 3b), so
+//     the nodes are removed outright.
+func (a *Analyzer) markHead(m *mask, h int) {
+	c := a.CLG
+	for _, k := range a.Ord.SequenceableSet(h) {
+		m.blockSyncInto(c.In[k])
+	}
+	for _, k := range a.Ord.CoAccept[h] {
+		m.blockSyncInto(c.In[k])
+		m.blockSyncOutOf(c.Out[k])
+	}
+	for _, k := range a.Ord.NotCoexecSet(h) {
+		m.block(c.In[k])
+		m.block(c.Out[k])
+	}
+}
+
+// markHeadTail applies the head-tail variant markings for (h, t):
+// NOT-COEXEC of either hypothesis is removed; SEQUENCEABLE[h] lose head
+// status; COACCEPT needs no marking because the tail is fixed.
+func (a *Analyzer) markHeadTail(m *mask, h, t int) {
+	c := a.CLG
+	for _, k := range a.Ord.SequenceableSet(h) {
+		m.blockSyncInto(c.In[k])
+	}
+	for _, k := range a.Ord.NotCoexecSet(h) {
+		m.block(c.In[k])
+		m.block(c.Out[k])
+	}
+	for _, k := range a.Ord.NotCoexecSet(t) {
+		m.block(c.In[k])
+		m.block(c.Out[k])
+	}
+}
+
+// sccThrough runs a masked strong-component search and returns the set of
+// CLG nodes in the component containing start, when that component is
+// nontrivial (contains a cycle). Nil means start lies on no cycle under
+// the mask.
+func (a *Analyzer) sccThrough(m *mask, start int) []int {
+	comp, ok := maskedSCC(a.CLG, m, start)
+	if !ok {
+		return nil
+	}
+	return comp
+}
+
+// maskedSCC computes the strongly-connected component of start in the CLG
+// under mask m, restricted to nodes reachable from start, reusing the
+// analyzer's epoch-stamped scratch buffers. Returns the component members
+// and whether the component is nontrivial.
+func maskedSCC(c *clg.CLG, m *mask, start int) ([]int, bool) {
+	if m.isBlocked(start) {
+		return nil, false
+	}
+	g := c.G
+	n := g.N()
+	s := &m.a.scratch
+	if len(s.visited) < n {
+		s.visited = make([]int, n)
+		s.index = make([]int, n)
+		s.low = make([]int, n)
+		s.onStack = make([]bool, n)
+		s.compOf = make([]int, n)
+	}
+	s.sccEpoch++
+	epoch := s.sccEpoch
+	seen := func(v int) bool { return s.visited[v] == epoch }
+	visit := func(v, idx int) {
+		s.visited[v] = epoch
+		s.index[v], s.low[v] = idx, idx
+		s.onStack[v] = true
+		s.stack = append(s.stack, v)
+	}
+	stackBase := len(s.stack)
+	idx := 0
+	ncomp := 0
+
+	allowed := func(u, v int) bool {
+		if m.isBlocked(v) {
+			return false
+		}
+		if c.IsSyncEdge(u, v) && (m.noSyncOut(u) || m.noSyncIn(v)) {
+			return false
+		}
+		return true
+	}
+
+	s.frames = append(s.frames[:0], sccFrame{start, 0})
+	visit(start, 0)
+	idx = 1
+	startComp := -1
+	for len(s.frames) > 0 {
+		f := &s.frames[len(s.frames)-1]
+		v := f.v
+		if f.ei < len(g.Succ(v)) {
+			w := g.Succ(v)[f.ei]
+			f.ei++
+			if !allowed(v, w) {
+				continue
+			}
+			if !seen(w) {
+				visit(w, idx)
+				idx++
+				s.frames = append(s.frames, sccFrame{w, 0})
+			} else if s.onStack[w] && s.index[w] < s.low[v] {
+				s.low[v] = s.index[w]
+			}
+			continue
+		}
+		if s.low[v] == s.index[v] {
+			for {
+				w := s.stack[len(s.stack)-1]
+				s.stack = s.stack[:len(s.stack)-1]
+				s.onStack[w] = false
+				s.compOf[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+		s.frames = s.frames[:len(s.frames)-1]
+		if len(s.frames) > 0 {
+			p := s.frames[len(s.frames)-1].v
+			if s.low[v] < s.low[p] {
+				s.low[p] = s.low[v]
+			}
+		}
+	}
+	s.stack = s.stack[:stackBase]
+	startComp = s.compOf[start]
+
+	var members []int
+	for v := 0; v < n; v++ {
+		if s.visited[v] == epoch && s.compOf[v] == startComp {
+			members = append(members, v)
+		}
+	}
+	if len(members) > 1 {
+		return members, true
+	}
+	// Single-node component: nontrivial only with an allowed self-loop
+	// (the CLG construction never creates one, but stay defensive).
+	for _, w := range g.Succ(start) {
+		if w == start && allowed(start, start) {
+			return members, true
+		}
+	}
+	return nil, false
+}
+
+// witnessNodes maps CLG component members back to deduplicated, sorted
+// sync-graph node ids for reporting.
+func (a *Analyzer) witnessNodes(comp []int) []int {
+	set := map[int]bool{}
+	var out []int
+	for _, v := range comp {
+		o := a.CLG.Orig[v]
+		if !set[o] {
+			set[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Refined runs the paper's main refined algorithm: one masked SCC search
+// per possible head node. Total time O(|N_CLG| * (|N_CLG| + |E_CLG|)).
+func (a *Analyzer) Refined() Verdict {
+	v := Verdict{Algorithm: AlgoRefined}
+	for _, h := range a.PossibleHeads() {
+		v.Hypotheses++
+		m := a.newMask()
+		a.markHead(m, h)
+		v.SCCRuns++
+		if comp := a.sccThrough(m, a.CLG.In[h]); comp != nil {
+			v.MayDeadlock = true
+			v.Witnesses = appendWitness(v.Witnesses, a.witnessNodes(comp))
+		}
+	}
+	return v
+}
+
+// RefinedPairs hypothesizes unordered pairs of head nodes in distinct
+// tasks. Pairs that are sequenceable (constraint 3a) or joined by a sync
+// edge (constraint 2) cannot both head one cycle and are skipped; every
+// deadlock cycle couples at least two tasks, so the pair sweep is
+// exhaustive and the detector remains safe.
+func (a *Analyzer) RefinedPairs() Verdict {
+	v := Verdict{Algorithm: AlgoRefinedPairs}
+	heads := a.PossibleHeads()
+	g := a.SG
+	for i, h1 := range heads {
+		for _, h2 := range heads[i+1:] {
+			if g.TaskOf[h1] == g.TaskOf[h2] ||
+				a.Ord.Sequenceable(h1, h2) ||
+				g.HasSyncEdge(h1, h2) ||
+				a.Ord.NotCoexec[h1][h2] {
+				continue
+			}
+			v.Hypotheses++
+			m := a.newMask()
+			a.markHead(m, h1)
+			a.markHead(m, h2)
+			v.SCCRuns++
+			comp := a.sccThrough(m, a.CLG.In[h1])
+			if comp == nil || !contains(comp, a.CLG.In[h2]) {
+				continue
+			}
+			v.MayDeadlock = true
+			v.Witnesses = appendWitness(v.Witnesses, a.witnessNodes(comp))
+		}
+	}
+	return v
+}
+
+// tailCandidates returns valid tails for head h: rendezvous nodes with
+// sync edges, strictly control-reachable from h, not same-type co-accepts
+// of h and co-executable with h.
+func (a *Analyzer) tailCandidates(h int) []int {
+	g := a.SG
+	reach := g.Control.ReachableFrom(g.Control.Succ(h)...)
+	coacc := map[int]bool{}
+	for _, k := range a.Ord.CoAccept[h] {
+		coacc[k] = true
+	}
+	var out []int
+	for _, n := range g.Nodes {
+		t := n.ID
+		if !n.IsRendezvous() || !reach[t] || len(g.Sync[t]) == 0 {
+			continue
+		}
+		if coacc[t] || a.Ord.NotCoexec[h][t] {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// RefinedHeadTail hypothesizes (head, tail) pairs within one task and
+// requires the strong component to contain both h_i and t_o.
+func (a *Analyzer) RefinedHeadTail() Verdict {
+	v := Verdict{Algorithm: AlgoRefinedHeadTail}
+	for _, h := range a.PossibleHeads() {
+		for _, t := range a.tailCandidates(h) {
+			v.Hypotheses++
+			m := a.newMask()
+			a.markHeadTail(m, h, t)
+			v.SCCRuns++
+			comp := a.sccThrough(m, a.CLG.In[h])
+			if comp == nil || !contains(comp, a.CLG.Out[t]) {
+				continue
+			}
+			v.MayDeadlock = true
+			v.Witnesses = appendWitness(v.Witnesses, a.witnessNodes(comp))
+		}
+	}
+	return v
+}
+
+// RefinedHeadTailPairs combines both extensions with k = 2: two head-tail
+// pairs in distinct tasks must share one strong component. The paper notes
+// k = 2 is the safe limit without a separate small-cycle search, because
+// every deadlock cycle joins at least two tasks.
+func (a *Analyzer) RefinedHeadTailPairs() Verdict {
+	v := Verdict{Algorithm: AlgoRefinedHeadTailPairs}
+	g := a.SG
+	type ht struct{ h, t int }
+	var hyps []ht
+	for _, h := range a.PossibleHeads() {
+		for _, t := range a.tailCandidates(h) {
+			hyps = append(hyps, ht{h, t})
+		}
+	}
+	for i, p1 := range hyps {
+		for _, p2 := range hyps[i+1:] {
+			if g.TaskOf[p1.h] == g.TaskOf[p2.h] ||
+				a.Ord.Sequenceable(p1.h, p2.h) ||
+				g.HasSyncEdge(p1.h, p2.h) ||
+				a.Ord.NotCoexec[p1.h][p2.h] {
+				continue
+			}
+			v.Hypotheses++
+			m := a.newMask()
+			a.markHeadTail(m, p1.h, p1.t)
+			a.markHeadTail(m, p2.h, p2.t)
+			v.SCCRuns++
+			comp := a.sccThrough(m, a.CLG.In[p1.h])
+			if comp == nil ||
+				!contains(comp, a.CLG.Out[p1.t]) ||
+				!contains(comp, a.CLG.In[p2.h]) ||
+				!contains(comp, a.CLG.Out[p2.t]) {
+				continue
+			}
+			v.MayDeadlock = true
+			v.Witnesses = appendWitness(v.Witnesses, a.witnessNodes(comp))
+		}
+	}
+	return v
+}
+
+// Run dispatches by algorithm. AlgoRefinedKPairs runs with k = 3 and
+// default budgets; AlgoEnumerate runs with the default cycle budget (its
+// inconclusive outcome maps to a conservative may-deadlock verdict).
+func (a *Analyzer) Run(algo Algorithm) Verdict {
+	switch algo {
+	case AlgoNaive:
+		return a.Naive()
+	case AlgoRefined:
+		return a.Refined()
+	case AlgoRefinedPairs:
+		return a.RefinedPairs()
+	case AlgoRefinedHeadTail:
+		return a.RefinedHeadTail()
+	case AlgoRefinedHeadTailPairs:
+		return a.RefinedHeadTailPairs()
+	case AlgoRefinedKPairs:
+		return a.RefinedKPairs(3, KPairsBudget{})
+	case AlgoEnumerate:
+		return a.Enumerate(0).Verdict
+	}
+	return a.Refined()
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func appendWitness(ws [][]int, w []int) [][]int {
+	for _, x := range ws {
+		if equalInts(x, w) {
+			return ws
+		}
+	}
+	return append(ws, w)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

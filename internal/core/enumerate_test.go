@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sg"
+	"repro/internal/waves"
+	"repro/internal/workload"
+)
+
+func TestEnumerateOnFixtures(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		alarm bool
+	}{
+		{"real deadlock", reversedHandshake, true},
+		{"figure 1 class", figure1Class, false},
+		{"figure 4c", figure4c, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := analyzer(t, c.src)
+			v := a.Enumerate(0)
+			if !v.Conclusive {
+				t.Fatal("truncated")
+			}
+			if v.MayDeadlock != c.alarm {
+				t.Fatalf("alarm=%v, want %v (plausible=%d of %d)",
+					v.MayDeadlock, c.alarm, v.CyclesPlausible, v.CyclesSeen)
+			}
+		})
+	}
+}
+
+func TestEnumerateInconclusiveOnTinyBudget(t *testing.T) {
+	a := analyzer(t, figure1Class)
+	v := a.Enumerate(1)
+	if v.Conclusive {
+		// A single cycle may genuinely fit the budget; accept either, but
+		// when inconclusive the verdict must be conservative.
+		return
+	}
+	if !v.MayDeadlock {
+		t.Fatal("inconclusive enumeration must not certify")
+	}
+}
+
+func TestEnumerateRings(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		a := NewAnalyzer(sg.MustFromProgram(workload.Ring(n)))
+		v := a.Enumerate(0)
+		if !v.Conclusive || !v.MayDeadlock {
+			t.Fatalf("ring(%d): %+v", n, v)
+		}
+		ab := NewAnalyzer(sg.MustFromProgram(workload.RingBroken(n)))
+		vb := ab.Enumerate(0)
+		if !vb.Conclusive {
+			t.Fatalf("ring-broken(%d) truncated", n)
+		}
+		if vb.MayDeadlock {
+			t.Fatalf("ring-broken(%d) flagged: %+v", n, vb.Witnesses)
+		}
+	}
+}
+
+// Safety: the enumeration detector never certifies a deadlocking program.
+func TestQuickEnumerateSafety(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(2)
+		cfg.StmtsPerTask = 2 + rng.Intn(3)
+		cfg.BranchProb = 0.3
+		p := workload.Random(rng, cfg)
+		exact, err := waves.ExploreProgram(p, waves.Options{MaxStates: 200000})
+		if err != nil || exact.Truncated || !exact.Deadlock {
+			return true
+		}
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			return false
+		}
+		a := NewAnalyzer(g)
+		v := a.Enumerate(1 << 16)
+		if !v.MayDeadlock {
+			t.Logf("UNSOUND: enumeration missed deadlock in\n%s", p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Precision: enumeration is at least as precise as every masked-SCC
+// detector — it certifies whenever any of them does (its filters are a
+// superset of the necessary conditions they approximate).
+func TestQuickEnumerateDominatesSpectrum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(2)
+		p := workload.Random(rng, cfg)
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			return false
+		}
+		a := NewAnalyzer(g)
+		v := a.Enumerate(1 << 16)
+		if !v.Conclusive {
+			return true
+		}
+		if !v.MayDeadlock {
+			return true // certifying is never wrong to check here
+		}
+		// If enumeration alarms, at least naive must alarm (a cycle
+		// exists).
+		return a.Naive().MayDeadlock
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

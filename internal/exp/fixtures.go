@@ -1,0 +1,193 @@
+// Package exp defines the reproduction experiments: one fixture per paper
+// figure and one runner per measured claim (see DESIGN.md §3 and
+// EXPERIMENTS.md). The cmd/siwad-exp binary prints every experiment; the
+// root-package tests pin each expected outcome; bench_test.go measures the
+// quantitative rows.
+package exp
+
+import "repro/internal/lang"
+
+// Figure1Class reconstructs the class of program Figure 1 illustrates: a
+// deadlock-free two-task program whose CLG contains cycles that only the
+// feasibility constraints (2, 3a) can rule out. Two same-signal messages
+// create the spurious out-of-order pairing.
+const Figure1Class = `
+-- Figure 1 (reconstruction): deadlock-free, but the CLG has a cycle
+-- r -> s ~ u -> v ~ r whose heads can rendezvous with each other.
+task t1 is
+begin
+  r: t2.sig1;
+  s: t2.sig1;
+end;
+task t2 is
+begin
+  u: accept sig1;
+  v: accept sig1;
+end;
+`
+
+// Figure2a is the stall anomaly: after the go rendezvous, t2 waits on an
+// accept that no task can ever signal (z is the stall node).
+const Figure2a = `
+-- Figure 2(a): stall anomaly; z is the stall node.
+task t1 is
+begin
+  accept go;
+end;
+task t2 is
+begin
+  t1.go;
+  z: accept done;
+end;
+`
+
+// Figure2b is the deadlock anomaly: both tasks accept first, each waiting
+// on a signal the other can only send later.
+const Figure2b = `
+-- Figure 2(b): deadlock anomaly.
+task t1 is
+begin
+  r: accept sig1;
+  s: t2.sig2;
+end;
+task t2 is
+begin
+  u: accept sig2;
+  v: t1.sig1;
+end;
+`
+
+// Figure3 carries a cycle r,s,t,u valid under the three local constraints
+// but always broken by outside task W (the global constraint 4): w can
+// only rendezvous with t or with v, which must execute after t.
+const Figure3 = `
+-- Figure 3: constraint-4 example; W always breaks the r,s,t,u cycle.
+task T1 is
+begin
+  r: accept mr;
+  s: T2.mt;
+end;
+task T2 is
+begin
+  t: accept mt;
+  u: T1.mr;
+  v: accept mt;
+end;
+task W is
+begin
+  w: T2.mt;
+end;
+`
+
+// Figure4a has a cycle running purely through sync edges (r ~ s ~ t ~ u):
+// a naive traversal of the sync graph finds it; the CLG of the same
+// program is acyclic (Figure 4(b)).
+const Figure4a = `
+-- Figure 4(a): spurious sync-edge-only cycle; the CLG (b) is acyclic.
+task A is
+begin
+  s: accept m;
+  u: accept m;
+end;
+task B is
+begin
+  r: A.m;
+end;
+task C is
+begin
+  t: A.m;
+end;
+`
+
+// Figure4c has a spurious cycle that needs both exclusive branches of
+// task X simultaneously — a constraint 3b (co-executability) violation.
+const Figure4c = `
+-- Figure 4(c): cycle straddling both branches of X; killed by NOT-COEXEC.
+task X is
+begin
+  if c then
+    a: accept m1;
+    bb: Y.m2;
+  else
+    cc: accept m3;
+    d: Z.m4;
+  end if;
+end;
+task Y is
+begin
+  e1: accept m2;
+  f1: X.m3;
+end;
+task Z is
+begin
+  g: accept m4;
+  h: X.m1;
+end;
+`
+
+// Figure5bc has a rendezvous repeated on both sides of a branch; the
+// MergeBranches transform (Figure 5(b) to 5(c)) hoists it out, making the
+// straight-line Lemma 3 count applicable.
+const Figure5bc = `
+-- Figure 5(b): same rendezvous on both branch arms.
+task a is
+begin
+  if c then
+    b.m;
+    accept r;
+  else
+    b.m;
+    accept r;
+  end if;
+end;
+task b is
+begin
+  accept m;
+  a.r;
+end;
+`
+
+// Figure5d passes a condition value between tasks; the conditionals are
+// co-dependent, which a programmer certification lets HoistCertified
+// exploit.
+const Figure5d = `
+-- Figure 5(d): co-dependent conditionals across tasks.
+task T is
+begin
+  Tp.val;
+  if vT then
+    accept m;
+  end if;
+end;
+task Tp is
+begin
+  accept val;
+  if vTp then
+    T.m;
+  end if;
+end;
+`
+
+// Fixture couples a figure id with its program source.
+type Fixture struct {
+	ID     string
+	Title  string
+	Source string
+}
+
+// Fixtures lists every figure reproduction in paper order.
+func Fixtures() []Fixture {
+	return []Fixture{
+		{"F1", "Figure 1: spurious CLG cycles on a deadlock-free program", Figure1Class},
+		{"F2a", "Figure 2(a): stall anomaly", Figure2a},
+		{"F2b", "Figure 2(b): deadlock anomaly", Figure2b},
+		{"F3", "Figure 3: cycle broken by an outside task (constraint 4)", Figure3},
+		{"F4ab", "Figure 4(a,b): sync-edge-only cycle killed by the CLG", Figure4a},
+		{"F4c", "Figure 4(c): branch-straddling cycle (constraint 3b)", Figure4c},
+		{"F5bc", "Figure 5(b,c): branch-merge stall transform", Figure5bc},
+		{"F5d", "Figure 5(d): co-dependent factoring transform", Figure5d},
+	}
+}
+
+// MustProgram parses a fixture source.
+func MustProgram(src string) *lang.Program { return lang.MustParse(src) }

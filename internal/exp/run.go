@@ -1,0 +1,667 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cfg"
+	"repro/internal/clg"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/petri"
+	"repro/internal/sat3"
+	"repro/internal/sg"
+	"repro/internal/stall"
+	"repro/internal/waves"
+	"repro/internal/workload"
+)
+
+// Algorithms is the detector spectrum in increasing precision order.
+var Algorithms = []core.Algorithm{
+	core.AlgoNaive,
+	core.AlgoRefined,
+	core.AlgoRefinedPairs,
+	core.AlgoRefinedHeadTail,
+	core.AlgoRefinedHeadTailPairs,
+}
+
+func analyzerFor(p *lang.Program) (*core.Analyzer, error) {
+	if cfg.HasLoops(p) {
+		p = cfg.Unroll(p)
+	}
+	g, err := sg.FromProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAnalyzer(g), nil
+}
+
+// FigureRow is the outcome of one figure fixture across the spectrum.
+type FigureRow struct {
+	ID           string
+	Title        string
+	ExactVerdict string // "deadlock", "stall", "clean", ...
+	Alarms       map[core.Algorithm]bool
+	// Enumerated is the verdict of the cycle-enumeration detector, which
+	// enforces constraint 1c (one entry per task) exactly.
+	Enumerated bool
+	// EnumComplete reports whether enumeration finished within budget.
+	EnumComplete bool
+	C4Certified  bool
+	StallFlagged bool
+}
+
+// RunFigures analyzes every fixture with the whole spectrum, the exact
+// explorer, the stall balance check and the constraint-4 certifier.
+func RunFigures() ([]FigureRow, error) {
+	var rows []FigureRow
+	for _, fx := range Fixtures() {
+		p := MustProgram(fx.Source)
+		an, err := analyzerFor(p)
+		if err != nil {
+			return nil, err
+		}
+		row := FigureRow{ID: fx.ID, Title: fx.Title, Alarms: map[core.Algorithm]bool{}}
+		for _, a := range Algorithms {
+			row.Alarms[a] = an.Run(a).MayDeadlock
+		}
+		ev := an.Enumerate(0)
+		row.Enumerated = ev.MayDeadlock
+		row.EnumComplete = ev.Conclusive
+		free, conclusive := an.Constraint4Certify(0)
+		row.C4Certified = free && conclusive
+		row.StallFlagged = !stall.CheckAllLinearizations(p).StallFree()
+		exact, err := waves.ExploreProgram(p, waves.Options{})
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case exact.Deadlock && exact.Stall:
+			row.ExactVerdict = "deadlock+stall"
+		case exact.Deadlock:
+			row.ExactVerdict = "deadlock"
+		case exact.Stall:
+			row.ExactVerdict = "stall"
+		default:
+			row.ExactVerdict = "clean"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFigures writes the figure table.
+func PrintFigures(w io.Writer, rows []FigureRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "id\texact\tnaive\trefined\t+pairs\t+head-tail\t+ht-pairs\tenumerate\tc4-certified\tstall-flagged")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%v\t%v\t%v\t%v\t%v\t%v\t%v\n",
+			r.ID, r.ExactVerdict,
+			r.Alarms[core.AlgoNaive], r.Alarms[core.AlgoRefined],
+			r.Alarms[core.AlgoRefinedPairs], r.Alarms[core.AlgoRefinedHeadTail],
+			r.Alarms[core.AlgoRefinedHeadTailPairs], r.Enumerated,
+			r.C4Certified, r.StallFlagged)
+	}
+	tw.Flush()
+}
+
+// FamilyAlgorithms is the full detector list scored in the family matrix,
+// including the two extensions beyond the paper's spectrum.
+var FamilyAlgorithms = append(append([]core.Algorithm{}, Algorithms...),
+	core.AlgoRefinedKPairs, core.AlgoEnumerate)
+
+// RunFamilies scores every detector on the structured workload families —
+// a qualitative "who certifies what" matrix complementing the random
+// precision sweep (experiment T2b).
+func RunFamilies() ([]FigureRow, error) {
+	families := []struct {
+		name string
+		p    *lang.Program
+	}{
+		{"ring(3)", workload.Ring(3)},
+		{"ring-broken(3)", workload.RingBroken(3)},
+		{"pipeline(4,3)", workload.Pipeline(4, 3)},
+		{"client-server(3)", workload.ClientServer(3)},
+		{"barrier(2,2)", workload.Barrier(2, 2)},
+		{"forkfan(3,2)", workload.ForkFan(3, 2)},
+	}
+	var rows []FigureRow
+	for _, fam := range families {
+		an, err := analyzerFor(fam.p)
+		if err != nil {
+			return nil, err
+		}
+		row := FigureRow{ID: fam.name, Title: fam.name, Alarms: map[core.Algorithm]bool{}}
+		for _, a := range Algorithms {
+			row.Alarms[a] = an.Run(a).MayDeadlock
+		}
+		kv := an.RefinedKPairs(3, core.KPairsBudget{})
+		row.Alarms[core.AlgoRefinedKPairs] = kv.MayDeadlock
+		ev := an.Enumerate(1 << 16)
+		row.Enumerated = ev.MayDeadlock
+		row.EnumComplete = ev.Conclusive
+		free, conclusive := an.Constraint4Certify(1 << 15)
+		row.C4Certified = free && conclusive
+		row.StallFlagged = !stall.CheckAllLinearizations(fam.p).StallFree()
+		exact, err := waves.ExploreProgram(fam.p, waves.Options{})
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case exact.Deadlock && exact.Stall:
+			row.ExactVerdict = "deadlock+stall"
+		case exact.Deadlock:
+			row.ExactVerdict = "deadlock"
+		case exact.Stall:
+			row.ExactVerdict = "stall"
+		default:
+			row.ExactVerdict = "clean"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFamilies writes the family matrix (same layout as the figure
+// table, plus the k-pairs column).
+func PrintFamilies(w io.Writer, rows []FigureRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "family\texact\tnaive\trefined\t+pairs\t+head-tail\t+ht-pairs\t+k-pairs\tenumerate\tc4-certified")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%v\t%v\t%v\t%v\t%v\t%v\t%v\n",
+			r.ID, r.ExactVerdict,
+			r.Alarms[core.AlgoNaive], r.Alarms[core.AlgoRefined],
+			r.Alarms[core.AlgoRefinedPairs], r.Alarms[core.AlgoRefinedHeadTail],
+			r.Alarms[core.AlgoRefinedHeadTailPairs], r.Alarms[core.AlgoRefinedKPairs],
+			r.Enumerated, r.C4Certified)
+	}
+	tw.Flush()
+}
+
+// PrecisionRow aggregates detector accuracy against exact ground truth on
+// random programs (experiment T2).
+type PrecisionRow struct {
+	Algorithm   core.Algorithm
+	FalseAlarms int // alarms on exactly-deadlock-free programs
+	Misses      int // certifications of exactly-deadlocking programs (must be 0)
+	CleanTotal  int
+	DeadTotal   int
+}
+
+// RunPrecision samples `samples` random programs with the given workload
+// shape and seed, classifies them with the exact explorer and scores every
+// detector. Programs whose exploration truncates are skipped.
+func RunPrecision(seed int64, samples int, wcfg workload.Config) ([]PrecisionRow, int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]PrecisionRow, len(Algorithms))
+	for i, a := range Algorithms {
+		rows[i].Algorithm = a
+	}
+	skipped := 0
+	for s := 0; s < samples; s++ {
+		p := workload.Random(rng, wcfg)
+		exact, err := waves.ExploreProgram(p, waves.Options{MaxStates: 300000})
+		if err != nil {
+			return nil, 0, err
+		}
+		if exact.Truncated {
+			skipped++
+			continue
+		}
+		an, err := analyzerFor(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, a := range Algorithms {
+			alarm := an.Run(a).MayDeadlock
+			if exact.Deadlock {
+				rows[i].DeadTotal++
+				if !alarm {
+					rows[i].Misses++
+				}
+			} else {
+				rows[i].CleanTotal++
+				if alarm {
+					rows[i].FalseAlarms++
+				}
+			}
+		}
+	}
+	return rows, skipped, nil
+}
+
+// PrintPrecision writes the precision table.
+func PrintPrecision(w io.Writer, rows []PrecisionRow, skipped int) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tfalse-alarm-rate\tfalse-alarms\tclean\tmisses\tdeadlocking")
+	for _, r := range rows {
+		rate := 0.0
+		if r.CleanTotal > 0 {
+			rate = float64(r.FalseAlarms) / float64(r.CleanTotal)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%d\t%d\t%d\t%d\n",
+			r.Algorithm, 100*rate, r.FalseAlarms, r.CleanTotal, r.Misses, r.DeadTotal)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "(skipped %d samples whose exact exploration truncated)\n", skipped)
+}
+
+// ExactVsStaticRow compares the exponential exact baseline with the
+// polynomial detectors on the ForkFan family (experiment T3).
+type ExactVsStaticRow struct {
+	Pairs       int
+	Tasks       int
+	Nodes       int
+	ExactStates int
+	ExactTime   time.Duration
+	RefinedTime time.Duration
+	Truncated   bool
+}
+
+// RunExactVsStatic measures both analyses on ForkFan(n, depth) for each n.
+func RunExactVsStatic(pairCounts []int, depth int, maxStates int) ([]ExactVsStaticRow, error) {
+	var rows []ExactVsStaticRow
+	for _, n := range pairCounts {
+		p := workload.ForkFan(n, depth)
+		row := ExactVsStaticRow{Pairs: n, Tasks: 2 * n, Nodes: p.CountRendezvous()}
+		t0 := time.Now()
+		exact, err := waves.ExploreProgram(p, waves.Options{MaxStates: maxStates})
+		if err != nil {
+			return nil, err
+		}
+		row.ExactTime = time.Since(t0)
+		row.ExactStates = exact.States
+		row.Truncated = exact.Truncated
+		an, err := analyzerFor(p)
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		an.Refined()
+		row.RefinedTime = time.Since(t0)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintExactVsStatic writes the tractability table.
+func PrintExactVsStatic(w io.Writer, rows []ExactVsStaticRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "pairs\ttasks\tnodes\texact-states\texact-time\trefined-time\ttruncated")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\t%v\t%v\n",
+			r.Pairs, r.Tasks, r.Nodes, r.ExactStates, r.ExactTime.Round(time.Microsecond),
+			r.RefinedTime.Round(time.Microsecond), r.Truncated)
+	}
+	tw.Flush()
+}
+
+// ScalingRow measures detector runtime against program size (experiment
+// T1): the paper claims O(|N_CLG| * (|N_CLG| + |E_CLG|)).
+type ScalingRow struct {
+	Tasks    int
+	Width    int
+	Nodes    int
+	CLGNodes int
+	CLGEdges int
+	Naive    time.Duration
+	Refined  time.Duration
+	Pairs    time.Duration
+}
+
+// RunScaling measures the CrossRing family.
+func RunScaling(sizes [][2]int, withPairs bool) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, sz := range sizes {
+		p := workload.CrossRing(sz[0], sz[1])
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			return nil, err
+		}
+		an := core.NewAnalyzer(g)
+		c := clg.Build(g)
+		row := ScalingRow{Tasks: sz[0], Width: sz[1], Nodes: g.N() - 2, CLGNodes: c.N(), CLGEdges: c.M()}
+		t0 := time.Now()
+		an.Naive()
+		row.Naive = time.Since(t0)
+		t0 = time.Now()
+		an.Refined()
+		row.Refined = time.Since(t0)
+		if withPairs {
+			t0 = time.Now()
+			an.RefinedPairs()
+			row.Pairs = time.Since(t0)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintScaling writes the runtime table.
+func PrintScaling(w io.Writer, rows []ScalingRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tasks\twidth\tnodes\tclg-nodes\tclg-edges\tnaive\trefined\t+pairs")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%v\t%v\t%v\n",
+			r.Tasks, r.Width, r.Nodes, r.CLGNodes, r.CLGEdges,
+			r.Naive.Round(time.Microsecond), r.Refined.Round(time.Microsecond),
+			r.Pairs.Round(time.Microsecond))
+	}
+	tw.Flush()
+}
+
+// UnrollRow measures the Lemma 1 transform's growth (experiment T4).
+type UnrollRow struct {
+	Depth    int
+	Before   int
+	After    int
+	Expected int // before * 2^depth for the loop-resident kernel
+}
+
+// RunUnrollGrowth unrolls NestedLoops kernels of increasing depth.
+func RunUnrollGrowth(depths []int, kernel int) []UnrollRow {
+	var rows []UnrollRow
+	for _, d := range depths {
+		p := workload.NestedLoops(d, kernel)
+		u := cfg.Unroll(p)
+		// Only the src task's kernel sits inside the nest; the sink task
+		// contributes 2 rendezvous in a single loop (doubling once).
+		expected := kernel*pow2(d) + 2*2
+		rows = append(rows, UnrollRow{
+			Depth:    d,
+			Before:   p.CountRendezvous(),
+			After:    u.CountRendezvous(),
+			Expected: expected,
+		})
+	}
+	return rows
+}
+
+func pow2(d int) int { return 1 << uint(d) }
+
+// PrintUnrollGrowth writes the growth table.
+func PrintUnrollGrowth(w io.Writer, rows []UnrollRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "nest-depth\trendezvous-before\trendezvous-after\texpected(stmts*2^d)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\n", r.Depth, r.Before, r.After, r.Expected)
+	}
+	tw.Flush()
+}
+
+// StallRow measures Lemma 3 counting time (experiment T5).
+type StallRow struct {
+	Nodes int
+	Time  time.Duration
+}
+
+// RunStallScaling times CountNodes on straight-line pipelines of
+// increasing size.
+func RunStallScaling(sizes []int) []StallRow {
+	var rows []StallRow
+	for _, n := range sizes {
+		p := workload.Pipeline(4, n)
+		nodes := p.CountRendezvous()
+		t0 := time.Now()
+		const reps = 100
+		for i := 0; i < reps; i++ {
+			stall.CountNodes(p)
+		}
+		rows = append(rows, StallRow{Nodes: nodes, Time: time.Since(t0) / reps})
+	}
+	return rows
+}
+
+// PrintStallScaling writes the stall timing table.
+func PrintStallScaling(w io.Writer, rows []StallRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rendezvous-nodes\tcount-time")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%v\n", r.Nodes, r.Time.Round(time.Nanosecond))
+	}
+	tw.Flush()
+}
+
+// LadderRow shows the precision/cost spectrum on one program (T6).
+type LadderRow struct {
+	Algorithm  core.Algorithm
+	Alarm      bool
+	Hypotheses int
+	SCCRuns    int
+	Time       time.Duration
+}
+
+// RunLadder measures the full spectrum on one program, including the
+// k-pairs (k = 3) and enumeration extensions.
+func RunLadder(p *lang.Program) ([]LadderRow, error) {
+	an, err := analyzerFor(p)
+	if err != nil {
+		return nil, err
+	}
+	var rows []LadderRow
+	for _, a := range Algorithms {
+		t0 := time.Now()
+		v := an.Run(a)
+		rows = append(rows, LadderRow{
+			Algorithm:  a,
+			Alarm:      v.MayDeadlock,
+			Hypotheses: v.Hypotheses,
+			SCCRuns:    v.SCCRuns,
+			Time:       time.Since(t0),
+		})
+	}
+	t0 := time.Now()
+	kv := an.RefinedKPairs(3, core.KPairsBudget{})
+	rows = append(rows, LadderRow{
+		Algorithm:  core.AlgoRefinedKPairs,
+		Alarm:      kv.MayDeadlock,
+		Hypotheses: kv.Hypotheses,
+		SCCRuns:    kv.SCCRuns,
+		Time:       time.Since(t0),
+	})
+	t0 = time.Now()
+	ev := an.Enumerate(1 << 16)
+	rows = append(rows, LadderRow{
+		Algorithm:  core.AlgoEnumerate,
+		Alarm:      ev.MayDeadlock,
+		Hypotheses: ev.Hypotheses,
+		SCCRuns:    0,
+		Time:       time.Since(t0),
+	})
+	return rows, nil
+}
+
+// PrintLadder writes the extension-ladder table.
+func PrintLadder(w io.Writer, rows []LadderRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tmay-deadlock\thypotheses\tscc-runs\ttime")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%d\t%v\n",
+			r.Algorithm, r.Alarm, r.Hypotheses, r.SCCRuns, r.Time.Round(time.Microsecond))
+	}
+	tw.Flush()
+}
+
+// BaselineRow compares the two exact baselines — the wave explorer
+// (Taylor-style concurrency states) and the Petri-net reachability graph
+// (Murata-style) — on one program (experiment T7).
+type BaselineRow struct {
+	Name        string
+	WaveStates  int
+	WaveTime    time.Duration
+	NetMarkings int
+	NetTime     time.Duration
+	Agree       bool
+}
+
+// RunBaselines cross-checks the baselines over the deterministic
+// workload families.
+func RunBaselines() ([]BaselineRow, error) {
+	progs := []struct {
+		name string
+		p    *lang.Program
+	}{
+		{"handshake", MustProgram(`
+task t1 is begin t2.a; accept b; end;
+task t2 is begin accept a; t1.b; end;
+`)},
+		{"ring(4)", workload.Ring(4)},
+		{"pipeline(4,2)", workload.Pipeline(4, 2)},
+		{"client-server(3)", workload.ClientServer(3)},
+		{"forkfan(4,2)", workload.ForkFan(4, 2)},
+		{"loop-pipeline", MustProgram(`
+task p is begin loop 3 times c.m; end loop; end;
+task c is begin loop 3 times accept m; end loop; end;
+`)},
+	}
+	var rows []BaselineRow
+	for _, pr := range progs {
+		row := BaselineRow{Name: pr.name}
+		t0 := time.Now()
+		wres, err := waves.ExploreProgram(pr.p, waves.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.WaveTime = time.Since(t0)
+		row.WaveStates = wres.States
+		b, err := petri.FromProgram(pr.p, 0)
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		nres := b.Reach(petri.ReachOptions{})
+		row.NetTime = time.Since(t0)
+		row.NetMarkings = nres.Markings
+		row.Agree = wres.Completed == nres.Completed &&
+			wres.HasAnomaly() == nres.HasInfiniteWait()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintBaselines writes the baseline comparison table.
+func PrintBaselines(w io.Writer, rows []BaselineRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "program\twave-states\twave-time\tnet-markings\tnet-time\tverdicts-agree")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%d\t%v\t%v\n",
+			r.Name, r.WaveStates, r.WaveTime.Round(time.Microsecond),
+			r.NetMarkings, r.NetTime.Round(time.Microsecond), r.Agree)
+	}
+	tw.Flush()
+}
+
+// Theorem2Row reports reduction validation counts (experiments F6-F9).
+type Theorem2Row struct {
+	Samples    int
+	Sat        int
+	Agreements int
+	Skipped    int
+}
+
+// RunTheorem2Agreement cross-checks the Theorem 2 gadget against DPLL on
+// random formulas.
+func RunTheorem2Agreement(seed int64, samples, numVars, numClauses int) (Theorem2Row, error) {
+	rng := rand.New(rand.NewSource(seed))
+	row := Theorem2Row{}
+	for i := 0; i < samples; i++ {
+		f := sat3.Random(rng, numVars, numClauses)
+		p, err := sat3.BuildTheorem2(f)
+		if err != nil {
+			return row, err
+		}
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			return row, err
+		}
+		an := core.NewAnalyzer(g)
+		has, complete := sat3.Theorem2HasValidCycle(an, 60000)
+		if !complete {
+			row.Skipped++
+			continue
+		}
+		row.Samples++
+		sat, _ := sat3.Solve(f)
+		if sat {
+			row.Sat++
+		}
+		if sat == has {
+			row.Agreements++
+		}
+	}
+	return row, nil
+}
+
+// RunTheorem3Agreement cross-checks the Theorem 3 gadget against DPLL.
+func RunTheorem3Agreement(seed int64, samples, numVars, numClauses int) (Theorem2Row, error) {
+	rng := rand.New(rand.NewSource(seed))
+	row := Theorem2Row{}
+	for i := 0; i < samples; i++ {
+		f := sat3.Random(rng, numVars, numClauses)
+		g, err := sat3.BuildTheorem3(f)
+		if err != nil {
+			return row, err
+		}
+		an := core.NewAnalyzer(g)
+		has, complete := sat3.Theorem3HasValidCycle(an, 60000)
+		if !complete {
+			row.Skipped++
+			continue
+		}
+		row.Samples++
+		sat, _ := sat3.Solve(f)
+		if sat {
+			row.Sat++
+		}
+		if sat == has {
+			row.Agreements++
+		}
+	}
+	return row, nil
+}
+
+// PrintTheoremAgreement writes a reduction validation line.
+func PrintTheoremAgreement(w io.Writer, name string, row Theorem2Row) {
+	fmt.Fprintf(w, "%s: %d/%d agree with DPLL (%d satisfiable, %d skipped)\n",
+		name, row.Agreements, row.Samples, row.Sat, row.Skipped)
+}
+
+// CanonicalUnsat is the 8-clause enumeration of all sign patterns over
+// three variables — the smallest natural unsatisfiable 3-CNF fixture.
+func CanonicalUnsat() *sat3.Formula {
+	return &sat3.Formula{NumVars: 3, Clauses: []sat3.Clause{
+		{1, 2, 3}, {1, 2, -3}, {1, -2, 3}, {1, -2, -3},
+		{-1, 2, 3}, {-1, 2, -3}, {-1, -2, 3}, {-1, -2, -3},
+	}}
+}
+
+// RunCanonicalUnsat validates both reductions on the canonical
+// unsatisfiable formula, returning (theorem2Cycle, theorem3Cycle) — both
+// must be false.
+func RunCanonicalUnsat() (bool, bool, error) {
+	f := CanonicalUnsat()
+	p, err := sat3.BuildTheorem2(f)
+	if err != nil {
+		return false, false, err
+	}
+	g, err := sg.FromProgram(p)
+	if err != nil {
+		return false, false, err
+	}
+	c2, complete := sat3.Theorem2HasValidCycle(core.NewAnalyzer(g), 0)
+	if !complete {
+		return false, false, fmt.Errorf("theorem 2 enumeration truncated")
+	}
+	g3, err := sat3.BuildTheorem3(f)
+	if err != nil {
+		return false, false, err
+	}
+	c3, complete := sat3.Theorem3HasValidCycle(core.NewAnalyzer(g3), 0)
+	if !complete {
+		return false, false, fmt.Errorf("theorem 3 enumeration truncated")
+	}
+	return c2, c3, nil
+}

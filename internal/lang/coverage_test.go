@@ -1,0 +1,100 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	if (Pos{3, 7}).String() != "3:7" {
+		t.Fatal("Pos.String")
+	}
+	if (Signal{Task: "a", Msg: "m"}).String() != "a.m" {
+		t.Fatal("Signal.String")
+	}
+	for k := tokEOF; k <= tokCall; k++ {
+		if k.String() == "" {
+			t.Fatalf("empty name for token kind %d", k)
+		}
+	}
+}
+
+func TestParseErrorPathsExhaustive(t *testing.T) {
+	bad := []string{
+		// Task header errors.
+		"task", "task a", "task a is", "task a is begin",
+		"task a is begin null;",
+		// Send form errors.
+		"task a is begin b. end; task b is begin null; end;",
+		"task a is begin b.m end; task b is begin null; end;",
+		// Accept form errors.
+		"task a is begin accept; end;",
+		"task a is begin accept m end;",
+		// If form errors.
+		"task a is begin if c null; end if; end;",
+		"task a is begin if c then null; end; end;",
+		"task a is begin if c then null; end if end;",
+		// Loop form errors.
+		"task a is begin loop 2 null; end loop; end;",
+		"task a is begin loop null; end; end;",
+		"task a is begin loop null; end loop end;",
+		"task a is begin while w null; end loop; end;",
+		// Call form errors.
+		"procedure p is begin null; end; task a is begin call; end;",
+		"procedure p is begin null; end; task a is begin call p end;",
+		// Procedure header errors.
+		"procedure is begin null; end;",
+		"procedure p begin null; end;",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("accepted: %q", src)
+		}
+	}
+}
+
+func TestCloneStmtsExported(t *testing.T) {
+	p := MustParse(`
+task a is
+begin
+  if c then
+    b.m;
+  end if;
+end;
+task b is
+begin
+  accept m;
+end;
+`)
+	cp := CloneStmts(p.Tasks[0].Body)
+	cp[0].(*If).Then[0].(*Send).Msg = "changed"
+	if p.Tasks[0].Body[0].(*If).Then[0].(*Send).Msg == "changed" {
+		t.Fatal("CloneStmts shares structure")
+	}
+}
+
+func TestProgramStringWithProcs(t *testing.T) {
+	p := MustParse(`
+procedure q is
+begin
+  null;
+end;
+task a is
+begin
+  call q;
+end;
+`)
+	s := p.String()
+	if !strings.Contains(s, "procedure q is") || !strings.Contains(s, "call q;") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("not a program")
+}

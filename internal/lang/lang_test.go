@@ -1,0 +1,271 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const handshake = `
+-- canonical two-task handshake
+task t1 is
+begin
+  t2.sig1;
+  accept sig2;
+end;
+
+task t2 is
+begin
+  accept sig1;
+  t1.sig2;
+end;
+`
+
+func TestParseHandshake(t *testing.T) {
+	p, err := Parse(handshake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tasks) != 2 {
+		t.Fatalf("tasks=%d", len(p.Tasks))
+	}
+	t1 := p.TaskByName("t1")
+	if t1 == nil || len(t1.Body) != 2 {
+		t.Fatalf("t1 body wrong: %+v", t1)
+	}
+	send, ok := t1.Body[0].(*Send)
+	if !ok || send.Target != "t2" || send.Msg != "sig1" {
+		t.Fatalf("first stmt: %+v", t1.Body[0])
+	}
+	acc, ok := t1.Body[1].(*Accept)
+	if !ok || acc.Msg != "sig2" {
+		t.Fatalf("second stmt: %+v", t1.Body[1])
+	}
+	if p.CountRendezvous() != 4 {
+		t.Fatalf("rendezvous=%d", p.CountRendezvous())
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	p := MustParse(`
+task a is
+begin
+  r: b.m;
+  accept n;
+end;
+task b is
+begin
+  accept m;
+  s: a.n;
+end;
+`)
+	if p.Tasks[0].Body[0].Label() != "r" {
+		t.Fatalf("user label lost: %q", p.Tasks[0].Body[0].Label())
+	}
+	// Auto labels assigned to unlabeled rendezvous.
+	if p.Tasks[0].Body[1].Label() == "" {
+		t.Fatal("auto label missing")
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	p := MustParse(`
+task a is
+begin
+  if c then
+    b.m;
+  else
+    accept n;
+  end if;
+end;
+task b is
+begin
+  accept m;
+  a.n;
+end;
+`)
+	iff, ok := p.Tasks[0].Body[0].(*If)
+	if !ok {
+		t.Fatalf("not an if: %T", p.Tasks[0].Body[0])
+	}
+	if iff.Cond != "c" || len(iff.Then) != 1 || len(iff.Else) != 1 {
+		t.Fatalf("if parsed wrong: %+v", iff)
+	}
+}
+
+func TestParseIfWithoutCond(t *testing.T) {
+	p := MustParse(`
+task a is
+begin
+  if then
+    b.m;
+  end if;
+end;
+task b is
+begin
+  accept m;
+end;
+`)
+	iff := p.Tasks[0].Body[0].(*If)
+	if iff.Cond != "" || len(iff.Else) != 0 {
+		t.Fatalf("%+v", iff)
+	}
+}
+
+func TestParseLoops(t *testing.T) {
+	p := MustParse(`
+task a is
+begin
+  loop 3 times
+    b.m;
+  end loop;
+  while going loop
+    b.m;
+  end loop;
+  loop
+    b.m;
+  end loop;
+end;
+task b is
+begin
+  accept m;
+end;
+`)
+	l1 := p.Tasks[0].Body[0].(*Loop)
+	if l1.Count != 3 || !l1.AtLeastOnce {
+		t.Fatalf("bounded loop: %+v", l1)
+	}
+	l2 := p.Tasks[0].Body[1].(*Loop)
+	if l2.Count != 0 || l2.AtLeastOnce || l2.Cond != "going" {
+		t.Fatalf("while loop: %+v", l2)
+	}
+	l3 := p.Tasks[0].Body[2].(*Loop)
+	if l3.Count != 0 || !l3.AtLeastOnce {
+		t.Fatalf("plain loop: %+v", l3)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", "", "no tasks"},
+		{"unknown target", "task a is begin b.m; end;", "unknown task"},
+		{"self send", "task a is begin a.m; end;", "own entry"},
+		{"duplicate task", "task a is begin null; end; task a is begin null; end;", "duplicate"},
+		{"missing semi", "task a is begin null end;", "expected"},
+		{"bad char", "task a is begin @ end;", "unexpected character"},
+		{"zero loop count", "task a is begin loop 0 times null; end loop; end;", "bad loop count"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCommentsAndCase(t *testing.T) {
+	p := MustParse(`
+-- leading comment
+TASK a IS
+BEGIN
+  NULL; -- trailing comment
+END;
+`)
+	if len(p.Tasks) != 1 || p.Tasks[0].Name != "a" {
+		t.Fatalf("%+v", p.Tasks)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		handshake,
+		`
+task a is
+begin
+  if c then
+    b.m;
+  else
+    accept q;
+    if d then
+      b.m;
+    end if;
+  end if;
+  loop 2 times
+    accept q;
+  end loop;
+  while w loop
+    b.m;
+  end loop;
+end;
+task b is
+begin
+  accept m;
+  a.q;
+end;
+`,
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		printed := p1.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\n%s", err, printed)
+		}
+		if p2.String() != printed {
+			t.Fatalf("print not stable:\n%s\n---\n%s", printed, p2.String())
+		}
+		if p1.CountRendezvous() != p2.CountRendezvous() {
+			t.Fatal("rendezvous count changed through round trip")
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MustParse(handshake)
+	q := p.Clone()
+	q.Tasks[0].Body[0].(*Send).Msg = "changed"
+	if p.Tasks[0].Body[0].(*Send).Msg == "changed" {
+		t.Fatal("clone shares statements")
+	}
+}
+
+func TestSignals(t *testing.T) {
+	p := MustParse(handshake)
+	sigs := p.Signals()
+	if len(sigs) != 2 {
+		t.Fatalf("signals=%v", sigs)
+	}
+	want := map[Signal]bool{
+		{Task: "t2", Msg: "sig1"}: true,
+		{Task: "t1", Msg: "sig2"}: true,
+	}
+	for _, s := range sigs {
+		if !want[s] {
+			t.Fatalf("unexpected signal %v", s)
+		}
+	}
+}
+
+func TestAssignLabelsStable(t *testing.T) {
+	p := MustParse(handshake)
+	l1 := p.Tasks[0].Body[0].Label()
+	p.AssignLabels() // idempotent
+	if p.Tasks[0].Body[0].Label() != l1 {
+		t.Fatal("labels changed on reassign")
+	}
+}
+
+func TestValidateNegativeLoopCount(t *testing.T) {
+	p := &Program{Tasks: []*Task{{Name: "a", Body: []Stmt{
+		&Loop{Count: -1},
+	}}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative loop count accepted")
+	}
+}

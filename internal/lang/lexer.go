@@ -1,0 +1,161 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokDot
+	tokSemi
+	tokColon
+	// Keywords.
+	tokTask
+	tokIs
+	tokBegin
+	tokEnd
+	tokAccept
+	tokIf
+	tokThen
+	tokElse
+	tokLoop
+	tokWhile
+	tokTimes
+	tokNull
+	tokProcedure
+	tokCall
+)
+
+var keywords = map[string]tokenKind{
+	"task":      tokTask,
+	"is":        tokIs,
+	"begin":     tokBegin,
+	"end":       tokEnd,
+	"accept":    tokAccept,
+	"if":        tokIf,
+	"then":      tokThen,
+	"else":      tokElse,
+	"loop":      tokLoop,
+	"while":     tokWhile,
+	"times":     tokTimes,
+	"null":      tokNull,
+	"procedure": tokProcedure,
+	"call":      tokCall,
+}
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokDot:
+		return "'.'"
+	case tokSemi:
+		return "';'"
+	case tokColon:
+		return "':'"
+	}
+	for s, kk := range keywords {
+		if kk == k {
+			return "'" + s + "'"
+		}
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  Pos
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("lang: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// next scans the following token. Comments run from "--" to end of line.
+func (l *lexer) next() (token, error) {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.off+1 < len(l.src) && l.src[l.off+1] == '-':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: Pos{l.line, l.col}}, nil
+
+scan:
+	pos := Pos{l.line, l.col}
+	c := l.advance()
+	switch {
+	case c == '.':
+		return token{tokDot, ".", pos}, nil
+	case c == ';':
+		return token{tokSemi, ";", pos}, nil
+	case c == ':':
+		return token{tokColon, ":", pos}, nil
+	case isIdentStart(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isIdentPart(l.src[l.off]) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[strings.ToLower(text)]; ok {
+			return token{k, text, pos}, nil
+		}
+		return token{tokIdent, text, pos}, nil
+	case c >= '0' && c <= '9':
+		start := l.off - 1
+		for l.off < len(l.src) && l.src[l.off] >= '0' && l.src[l.off] <= '9' {
+			l.advance()
+		}
+		return token{tokInt, l.src[start:l.off], pos}, nil
+	default:
+		return token{}, l.errorf(pos, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

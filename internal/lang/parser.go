@@ -1,0 +1,349 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses MiniAda source into a validated Program with labels assigned
+// to every rendezvous statement.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.bump(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		switch p.tok.kind {
+		case tokProcedure:
+			pr, err := p.parseProc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Procs = append(prog.Procs, pr)
+		default:
+			t, err := p.parseTask()
+			if err != nil {
+				return nil, err
+			}
+			prog.Tasks = append(prog.Tasks, t)
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	prog.AssignLabels()
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed examples.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) bump() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("lang: %s: expected %s, found %q", p.tok.pos, k, p.tok.text)
+	}
+	t := p.tok
+	if err := p.bump(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// parseTask parses: task NAME is begin stmts end ;
+func (p *parser) parseTask() (*Task, error) {
+	start, err := p.expect(tokTask)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIs); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokBegin); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEnd); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &Task{Name: name.text, Body: body, Pos: start.pos}, nil
+}
+
+// parseProc parses: procedure NAME is begin stmts end ;
+func (p *parser) parseProc() (*Proc, error) {
+	start, err := p.expect(tokProcedure)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIs); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokBegin); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEnd); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &Proc{Name: name.text, Body: body, Pos: start.pos}, nil
+}
+
+// parseStmts parses statements until a token that ends a block
+// (end / else) without consuming it.
+func (p *parser) parseStmts() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		switch p.tok.kind {
+		case tokEnd, tokElse, tokEOF:
+			return out, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	// Optional label: IDENT ':' (only when followed by ':').
+	label := ""
+	if p.tok.kind == tokIdent {
+		// Look ahead: save lexer state is awkward, so peek by checking the
+		// next token after tentatively reading. We emulate one-token
+		// lookahead with a sub-scan of the lexer copy.
+		save := *p.lex
+		saveTok := p.tok
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokColon {
+			label = saveTok.text
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		} else {
+			*p.lex = save
+			p.tok = saveTok
+		}
+	}
+
+	var s Stmt
+	var err error
+	switch p.tok.kind {
+	case tokIdent:
+		s, err = p.parseSend()
+	case tokAccept:
+		s, err = p.parseAccept()
+	case tokIf:
+		s, err = p.parseIf()
+	case tokLoop, tokWhile:
+		s, err = p.parseLoop()
+	case tokCall:
+		pos := p.tok.pos
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		name, err2 := p.expect(tokIdent)
+		if err2 != nil {
+			return nil, err2
+		}
+		if _, err2 := p.expect(tokSemi); err2 != nil {
+			return nil, err2
+		}
+		s = &Call{Name: name.text, Pos: pos}
+	case tokNull:
+		pos := p.tok.pos
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		s = &Null{Pos: pos}
+	default:
+		return nil, fmt.Errorf("lang: %s: expected statement, found %q", p.tok.pos, p.tok.text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if label != "" {
+		s.SetLabel(label)
+	}
+	return s, nil
+}
+
+// parseSend parses: TARGET '.' MSG ';'
+func (p *parser) parseSend() (Stmt, error) {
+	target, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	msg, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &Send{Target: target.text, Msg: msg.text, Pos: target.pos}, nil
+}
+
+// parseAccept parses: accept MSG ';'
+func (p *parser) parseAccept() (Stmt, error) {
+	kw, err := p.expect(tokAccept)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &Accept{Msg: msg.text, Pos: kw.pos}, nil
+}
+
+// parseIf parses: if [COND] then stmts [else stmts] end if ';'
+func (p *parser) parseIf() (Stmt, error) {
+	kw, err := p.expect(tokIf)
+	if err != nil {
+		return nil, err
+	}
+	cond := ""
+	if p.tok.kind == tokIdent {
+		cond = p.tok.text
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokThen); err != nil {
+		return nil, err
+	}
+	thenBody, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	var elseBody []Stmt
+	if p.tok.kind == tokElse {
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		elseBody, err = p.parseStmts()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokEnd); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIf); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &If{Cond: cond, Then: thenBody, Else: elseBody, Pos: kw.pos}, nil
+}
+
+// parseLoop parses either
+//
+//	loop [N times] stmts end loop ';'     (at-least-once unless bounded)
+//	while [COND] loop stmts end loop ';'  (zero or more)
+func (p *parser) parseLoop() (Stmt, error) {
+	loop := &Loop{}
+	switch p.tok.kind {
+	case tokWhile:
+		loop.Pos = p.tok.pos
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokIdent {
+			loop.Cond = p.tok.text
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokLoop); err != nil {
+			return nil, err
+		}
+	case tokLoop:
+		loop.Pos = p.tok.pos
+		loop.AtLeastOnce = true
+		if err := p.bump(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokInt {
+			n, err := strconv.Atoi(p.tok.text)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("lang: %s: bad loop count %q", p.tok.pos, p.tok.text)
+			}
+			loop.Count = n
+			if err := p.bump(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokTimes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	loop.Body = body
+	if _, err := p.expect(tokEnd); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLoop); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return loop, nil
+}

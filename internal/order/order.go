@@ -1,0 +1,252 @@
+// Package order computes the node-ordering facts the refined deadlock
+// detector consumes (paper §4.1/§4.2).
+//
+// The paper's two derivation rules are:
+//
+//	(1) if r dominates s in the control flow graph of their task, then r
+//	    must precede s;
+//	(2) if, for all sync edges {r, s}, s precedes some node t, then r
+//	    must precede t.
+//
+// Reproduction note (soundness refinement). Read as one transitive
+// relation, the rules over-derive: rule 2's conclusion only says "if r
+// ever finishes, it finishes together with some partner, hence before t" —
+// a conditional fact that is NOT transitive with rule-1 facts. Chaining
+// them manufactures orderings between nodes that can in fact wait on the
+// same execution wave (observable in the Theorem 2 gadget, where the
+// literal reading orders unrelated literal tasks and breaks the
+// reduction). We therefore compute two relations:
+//
+//   - Precede — the strong relation "t reached implies r already
+//     finished", closed under (a) rule 1 dominance, (b) transitivity
+//     (sound for the strong relation), and (c) rule 2 restricted to
+//     mutually-unique partners: if r and s can only rendezvous with each
+//     other they finish simultaneously, so Precede(r, b) transfers to
+//     Precede(s, b).
+//   - NoCohead — the general rule 2 conclusion kept at its actual
+//     strength: if every sync partner of r strongly precedes t, then r
+//     and t cannot both be head nodes of one deadlocked wave (t being
+//     reached would mean all of r's potential partners are already past,
+//     leaving r a stall node rather than a deadlock head). These facts
+//     are sound for blocking co-head hypotheses but are not transitive
+//     and never feed back into Precede.
+//
+// Sequenceable(r, s) — what the detector's SEQUENCEABLE vector holds — is
+// the union of both, in either direction.
+//
+// The package also provides NOT-COEXEC (exact within one sequential task
+// on loop-free CFGs: two nodes co-execute iff one control-reaches the
+// other; cross-task facts are injectable, mirroring the paper's assumption
+// that they come from a separate analysis) and COACCEPT (same-type accept
+// nodes).
+//
+// All ordering facts require a loop-free sync graph (run cfg.Unroll
+// first); with control cycles they degrade to empty, which only removes
+// detector markings and keeps everything conservative.
+package order
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/graph"
+	"repro/internal/sg"
+)
+
+// Info holds ordering facts for one sync graph.
+type Info struct {
+	G *sg.Graph
+	// Precede[r][s] reports that s cannot be reached before r finished.
+	Precede [][]bool
+	// NoCohead[r][s] reports that r and s cannot both be deadlock heads
+	// on one anomalous wave (general rule 2; not transitive).
+	NoCohead [][]bool
+	// NotCoexec[r][s] reports r and s never execute in the same run.
+	NotCoexec [][]bool
+	// CoAccept[r] lists same-type accept nodes for accept r (empty for
+	// sends, per the paper's COACCEPT vector).
+	CoAccept [][]int
+	// LoopFree reports whether the control subgraph was acyclic; when
+	// false, Precede, NoCohead and NotCoexec are empty (conservative).
+	LoopFree bool
+}
+
+// Compute derives all ordering facts for g.
+func Compute(g *sg.Graph) *Info {
+	n := g.N()
+	info := &Info{G: g}
+	info.Precede = newBoolMatrix(n)
+	info.NoCohead = newBoolMatrix(n)
+	info.NotCoexec = newBoolMatrix(n)
+	info.CoAccept = make([][]int, n)
+
+	// COACCEPT is loop-independent.
+	for _, r := range g.Nodes {
+		if r.Kind != cfg.KindAccept {
+			continue
+		}
+		for _, s := range g.Nodes {
+			if s.ID != r.ID && s.Kind == cfg.KindAccept && s.Sig == r.Sig {
+				info.CoAccept[r.ID] = append(info.CoAccept[r.ID], s.ID)
+			}
+		}
+	}
+
+	if cyc, _ := g.Control.HasCycle(); cyc {
+		return info // LoopFree=false: no ordering facts
+	}
+	info.LoopFree = true
+
+	reach := g.Control.TransitiveClosure()
+	idom := g.Control.Dominators(g.B)
+
+	rendezvous := make([]int, 0, n)
+	for _, nd := range g.Nodes {
+		if nd.IsRendezvous() {
+			rendezvous = append(rendezvous, nd.ID)
+		}
+	}
+
+	// Rule 1: dominance within a task.
+	for _, r := range rendezvous {
+		for _, s := range rendezvous {
+			if r == s || g.TaskOf[r] != g.TaskOf[s] {
+				continue
+			}
+			if graph.Dominates(idom, g.B, r, s) {
+				info.Precede[r][s] = true
+			}
+		}
+	}
+
+	// NOT-COEXEC within a task: no control path either way.
+	for ti := range g.Tasks {
+		nodes := g.TaskNodes(ti)
+		for i, r := range nodes {
+			for _, s := range nodes[i+1:] {
+				if !reach[r][s] && !reach[s][r] {
+					info.NotCoexec[r][s] = true
+					info.NotCoexec[s][r] = true
+				}
+			}
+		}
+	}
+
+	// Mutually-unique partner pairs: r and s finish simultaneously.
+	mu := map[int]int{} // node -> its mutually unique partner, if any
+	for _, r := range rendezvous {
+		if len(g.Sync[r]) != 1 {
+			continue
+		}
+		s := g.Sync[r][0]
+		if len(g.Sync[s]) == 1 && g.Sync[s][0] == r {
+			mu[r] = s
+		}
+	}
+
+	// Strong-relation fixed point: transitivity + MU transfer.
+	changed := true
+	for changed {
+		changed = false
+		// MU transfer: Precede(r, b) => Precede(s, b) for MU pair (r, s),
+		// unless b is s itself or s's partner (simultaneous finishers
+		// cannot precede each other or their own completion).
+		for r, s := range mu {
+			for _, b := range rendezvous {
+				if b == r || b == s {
+					continue
+				}
+				if info.Precede[r][b] && !info.Precede[s][b] {
+					info.Precede[s][b] = true
+					changed = true
+				}
+			}
+		}
+		// Transitivity.
+		for _, a := range rendezvous {
+			for _, b := range rendezvous {
+				if !info.Precede[a][b] {
+					continue
+				}
+				for _, c := range rendezvous {
+					if info.Precede[b][c] && !info.Precede[a][c] && a != c {
+						info.Precede[a][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// General rule 2 at its true strength: all partners of r strongly
+	// precede t => r and t cannot co-head a deadlock. One pass over the
+	// finished Precede relation; conclusions never feed back.
+	for _, r := range rendezvous {
+		partners := g.Sync[r]
+		if len(partners) == 0 {
+			continue
+		}
+		for _, t := range rendezvous {
+			if t == r || info.NoCohead[r][t] {
+				continue
+			}
+			all := true
+			for _, s := range partners {
+				if s == t || !info.Precede[s][t] {
+					all = false
+					break
+				}
+			}
+			if all {
+				info.NoCohead[r][t] = true
+				info.NoCohead[t][r] = true
+			}
+		}
+	}
+	return info
+}
+
+// Sequenceable reports whether r and s are ordered (strongly, in either
+// direction) or cannot co-head a deadlocked wave — exactly the pairs the
+// detector may not hypothesize as joint heads.
+func (i *Info) Sequenceable(r, s int) bool {
+	return i.Precede[r][s] || i.Precede[s][r] || i.NoCohead[r][s]
+}
+
+// SequenceableSet returns all nodes sequenceable with r (the paper's
+// SEQUENCEABLE[r] vector entry).
+func (i *Info) SequenceableSet(r int) []int {
+	var out []int
+	for s := range i.Precede {
+		if s != r && i.G.Nodes[s].IsRendezvous() && i.Sequenceable(r, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NotCoexecSet returns all nodes known never to co-execute with r.
+func (i *Info) NotCoexecSet(r int) []int {
+	var out []int
+	for s, bad := range i.NotCoexec[r] {
+		if bad {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// AddNotCoexec injects an external co-executability fact (symmetric),
+// mirroring the paper's assumption that such facts may come from a
+// separate static analysis.
+func (i *Info) AddNotCoexec(r, s int) {
+	i.NotCoexec[r][s] = true
+	i.NotCoexec[s][r] = true
+}
+
+func newBoolMatrix(n int) [][]bool {
+	m := make([][]bool, n)
+	buf := make([]bool, n*n)
+	for i := range m {
+		m[i], buf = buf[:n], buf[n:]
+	}
+	return m
+}

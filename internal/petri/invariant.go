@@ -1,0 +1,161 @@
+package petri
+
+import (
+	"math/big"
+)
+
+// Structural invariants via rational Gaussian elimination.
+//
+// A P-invariant is an integer place weighting y with yᵀC = 0: the weighted
+// token count yᵀM is constant over every reachable marking (checked as a
+// property test against reachability). A T-invariant is a firing-count
+// vector x with Cx = 0: firing every transition x[t] times reproduces the
+// marking — cyclic behaviour. These are the building blocks of
+// Murata-style structural analysis.
+
+// PInvariants returns an integer basis of the left null space of the
+// incidence matrix (solutions of yᵀC = 0).
+func PInvariants(n *Net) [][]int {
+	c := n.Incidence()
+	// yᵀC = 0  <=>  Cᵀ y = 0: null space of the transpose.
+	t := transpose(c)
+	return nullspaceInt(t)
+}
+
+// TInvariants returns an integer basis of the null space of the incidence
+// matrix (solutions of Cx = 0).
+func TInvariants(n *Net) [][]int {
+	return nullspaceInt(n.Incidence())
+}
+
+// WeightedTokens returns the y-weighted token count of m.
+func WeightedTokens(y []int, m Marking) int {
+	s := 0
+	for i, w := range y {
+		s += w * m[i]
+	}
+	return s
+}
+
+func transpose(a [][]int) [][]int {
+	if len(a) == 0 {
+		return nil
+	}
+	rows, cols := len(a), len(a[0])
+	out := make([][]int, cols)
+	for j := 0; j < cols; j++ {
+		out[j] = make([]int, rows)
+		for i := 0; i < rows; i++ {
+			out[j][i] = a[i][j]
+		}
+	}
+	return out
+}
+
+// nullspaceInt computes an integer basis of {x : Ax = 0} by rational
+// Gaussian elimination, scaling each basis vector to coprime integers.
+func nullspaceInt(a [][]int) [][]int {
+	rows := len(a)
+	if rows == 0 {
+		return nil
+	}
+	cols := len(a[0])
+	// Build rational working copy.
+	m := make([][]*big.Rat, rows)
+	for i := range m {
+		m[i] = make([]*big.Rat, cols)
+		for j := range m[i] {
+			m[i][j] = big.NewRat(int64(a[i][j]), 1)
+		}
+	}
+	// Forward elimination with partial pivoting by nonzero.
+	pivotCol := make([]int, 0, rows) // pivot column per pivot row
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		// Find pivot.
+		p := -1
+		for i := r; i < rows; i++ {
+			if m[i][c].Sign() != 0 {
+				p = i
+				break
+			}
+		}
+		if p == -1 {
+			continue
+		}
+		m[r], m[p] = m[p], m[r]
+		// Normalize pivot row.
+		inv := new(big.Rat).Inv(m[r][c])
+		for j := c; j < cols; j++ {
+			m[r][j].Mul(m[r][j], inv)
+		}
+		// Eliminate.
+		for i := 0; i < rows; i++ {
+			if i == r || m[i][c].Sign() == 0 {
+				continue
+			}
+			f := new(big.Rat).Set(m[i][c])
+			for j := c; j < cols; j++ {
+				t := new(big.Rat).Mul(f, m[r][j])
+				m[i][j].Sub(m[i][j], t)
+			}
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+	isPivot := make([]bool, cols)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	// One basis vector per free column.
+	var basis [][]int
+	for free := 0; free < cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		vec := make([]*big.Rat, cols)
+		for j := range vec {
+			vec[j] = new(big.Rat)
+		}
+		vec[free].SetInt64(1)
+		// Back-substitute: pivot variable = -sum(row entries * free vars).
+		for ri, pc := range pivotCol {
+			v := new(big.Rat).Neg(m[ri][free])
+			vec[pc] = v
+		}
+		basis = append(basis, ratToInt(vec))
+	}
+	return basis
+}
+
+// ratToInt scales a rational vector to coprime integers.
+func ratToInt(v []*big.Rat) []int {
+	lcm := big.NewInt(1)
+	for _, r := range v {
+		d := r.Denom()
+		g := new(big.Int).GCD(nil, nil, lcm, d)
+		lcm.Div(lcm, g)
+		lcm.Mul(lcm, d)
+	}
+	ints := make([]*big.Int, len(v))
+	gcd := new(big.Int)
+	for i, r := range v {
+		x := new(big.Int).Mul(r.Num(), new(big.Int).Div(lcm, r.Denom()))
+		ints[i] = x
+		if x.Sign() != 0 {
+			if gcd.Sign() == 0 {
+				gcd.Abs(x)
+			} else {
+				gcd.GCD(nil, nil, gcd, new(big.Int).Abs(x))
+			}
+		}
+	}
+	out := make([]int, len(v))
+	for i, x := range ints {
+		if gcd.Sign() != 0 {
+			x = new(big.Int).Div(x, gcd)
+		}
+		out[i] = int(x.Int64())
+	}
+	return out
+}

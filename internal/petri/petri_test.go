@@ -1,0 +1,282 @@
+package petri
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+	"repro/internal/waves"
+	"repro/internal/workload"
+)
+
+func buildSrc(t *testing.T, src string) *Build {
+	t.Helper()
+	b, err := FromProgram(lang.MustParse(src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+const handshake = `
+task t1 is
+begin
+  t2.sig1;
+  accept sig2;
+end;
+task t2 is
+begin
+  accept sig1;
+  t1.sig2;
+end;
+`
+
+func TestNetShapeHandshake(t *testing.T) {
+	b := buildSrc(t, handshake)
+	// Places: per task start+done (4) + 4 rendezvous positions.
+	if len(b.Net.Places) != 8 {
+		t.Fatalf("places=%d", len(b.Net.Places))
+	}
+	// Transitions: 2 start + 2 rendezvous (each sync edge has one
+	// successor combo here).
+	if len(b.Net.Transitions) != 4 {
+		t.Fatalf("transitions=%d:\n%s", len(b.Net.Transitions), b.Net)
+	}
+	// Initial marking: exactly the two start tokens.
+	total := 0
+	for _, v := range b.Net.Initial {
+		total += v
+	}
+	if total != 2 {
+		t.Fatalf("initial tokens=%d", total)
+	}
+}
+
+func TestReachHandshakeCompletes(t *testing.T) {
+	b := buildSrc(t, handshake)
+	res := b.Reach(ReachOptions{})
+	if !res.Completed || res.HasInfiniteWait() || res.Truncated {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestReachDeadlock(t *testing.T) {
+	b := buildSrc(t, `
+task t1 is
+begin
+  accept sig1;
+  t2.sig2;
+end;
+task t2 is
+begin
+  accept sig2;
+  t1.sig1;
+end;
+`)
+	res := b.Reach(ReachOptions{})
+	if res.Completed || !res.HasInfiniteWait() {
+		t.Fatalf("%+v", res)
+	}
+	if len(res.DeadMarkings) == 0 {
+		t.Fatal("no dead marking recorded")
+	}
+	if stuck := b.StuckTasks(res.DeadMarkings[0]); len(stuck) != 2 {
+		t.Fatalf("stuck=%v", stuck)
+	}
+}
+
+func TestReachWhileLoopNet(t *testing.T) {
+	// While loops keep cycles in the net; reachability must still
+	// terminate (finite markings) and find both completion and the
+	// producer stall.
+	b := buildSrc(t, `
+task prod is
+begin
+  cons.item;
+end;
+task cons is
+begin
+  while more loop
+    accept item;
+  end loop;
+end;
+`)
+	res := b.Reach(ReachOptions{})
+	if !res.Completed || !res.HasInfiniteWait() {
+		t.Fatalf("%+v", res)
+	}
+}
+
+// The headline cross-validation: the net semantics and the wave semantics
+// are independent implementations of the same behaviour space; their
+// verdicts must agree on random programs (branches, bounded loops,
+// procedures all exercised).
+func TestQuickReachAgreesWithWaves(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(2)
+		cfg.StmtsPerTask = 1 + rng.Intn(3)
+		cfg.BranchProb = 0.25
+		cfg.LoopProb = 0.2
+		p := workload.Random(rng, cfg)
+		wres, err := waves.ExploreProgram(p, waves.Options{MaxStates: 200000})
+		if err != nil || wres.Truncated {
+			return true
+		}
+		b, err := FromProgram(p, 0)
+		if err != nil {
+			return false
+		}
+		pres := b.Reach(ReachOptions{MaxMarkings: 400000})
+		if pres.Truncated {
+			return true
+		}
+		if pres.Completed != wres.Completed {
+			t.Logf("completion disagrees (net=%v waves=%v) on\n%s", pres.Completed, wres.Completed, p)
+			return false
+		}
+		if pres.HasInfiniteWait() != wres.HasAnomaly() {
+			t.Logf("anomaly disagrees (net=%v waves=%v) on\n%s", pres.HasInfiniteWait(), wres.HasAnomaly(), p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPInvariantHandshake(t *testing.T) {
+	b := buildSrc(t, handshake)
+	invs := PInvariants(b.Net)
+	if len(invs) == 0 {
+		t.Fatal("no P-invariants; per-task token conservation expected")
+	}
+	// Every invariant must conserve the weighted count across one firing.
+	m := b.Net.Initial
+	for _, tr := range b.Net.Transitions {
+		if !b.Net.Enabled(m, tr.ID) {
+			continue
+		}
+		next := b.Net.Fire(m, tr.ID)
+		for _, y := range invs {
+			if WeightedTokens(y, m) != WeightedTokens(y, next) {
+				t.Fatalf("invariant %v not conserved by %s", y, tr.Name)
+			}
+		}
+	}
+}
+
+// P-invariant conservation along entire random runs.
+func TestQuickPInvariantsConserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(2)
+		cfg.StmtsPerTask = 1 + rng.Intn(3)
+		p := workload.Random(rng, cfg)
+		b, err := FromProgram(p, 0)
+		if err != nil {
+			return false
+		}
+		invs := PInvariants(b.Net)
+		m := b.Net.Initial.Clone()
+		want := make([]int, len(invs))
+		for i, y := range invs {
+			want[i] = WeightedTokens(y, m)
+		}
+		// Random walk.
+		for step := 0; step < 50; step++ {
+			en := b.Net.EnabledSet(m)
+			if len(en) == 0 {
+				break
+			}
+			m = b.Net.Fire(m, en[rng.Intn(len(en))])
+			for i, y := range invs {
+				if WeightedTokens(y, m) != want[i] {
+					t.Logf("invariant broken on\n%s", p)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTInvariantCycle(t *testing.T) {
+	// A while-loop net has cyclic behaviour, so a nonzero T-invariant
+	// must exist, and applying it to the incidence matrix gives zero.
+	b := buildSrc(t, `
+task a is
+begin
+  while w loop
+    b.m;
+  end loop;
+end;
+task b is
+begin
+  while w loop
+    accept m;
+  end loop;
+end;
+`)
+	invs := TInvariants(b.Net)
+	if len(invs) == 0 {
+		t.Fatal("no T-invariants despite cyclic behaviour")
+	}
+	c := b.Net.Incidence()
+	for _, x := range invs {
+		for p := range c {
+			s := 0
+			for tIdx, w := range x {
+				s += c[p][tIdx] * w
+			}
+			if s != 0 {
+				t.Fatalf("Cx != 0 for %v", x)
+			}
+		}
+	}
+}
+
+func TestStraightLineNetHasNoTInvariant(t *testing.T) {
+	b := buildSrc(t, handshake)
+	if invs := TInvariants(b.Net); len(invs) != 0 {
+		t.Fatalf("acyclic behaviour produced T-invariants: %v", invs)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	b := buildSrc(t, handshake)
+	res := b.Reach(ReachOptions{MaxMarkings: 2})
+	if !res.Truncated {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestProceduresInNet(t *testing.T) {
+	b := buildSrc(t, `
+procedure ex is
+begin
+  peer.ping;
+  accept pong;
+end;
+task me is
+begin
+  call ex;
+end;
+task peer is
+begin
+  accept ping;
+  me.pong;
+end;
+`)
+	res := b.Reach(ReachOptions{})
+	if !res.Completed || res.HasInfiniteWait() {
+		t.Fatalf("%+v", res)
+	}
+}

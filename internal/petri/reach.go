@@ -1,0 +1,87 @@
+package petri
+
+// Reachability analysis: the exact baseline over the net semantics.
+
+// ReachOptions tunes Reach.
+type ReachOptions struct {
+	// MaxMarkings caps the exploration (0 = 1<<20); Truncated is set
+	// when hit.
+	MaxMarkings int
+}
+
+// ReachResult summarizes a reachability exploration.
+type ReachResult struct {
+	// Markings counts distinct reachable markings; Firings counts
+	// explored marking transitions.
+	Markings int
+	Firings  int
+	// Completed reports a reachable marking with every task done.
+	Completed bool
+	// Dead counts reachable dead markings (no transition enabled) where
+	// some task is not done — the net-side definition of an infinite
+	// wait. DeadMarkings holds up to 64 of them.
+	Dead         int
+	DeadMarkings []Marking
+	Truncated    bool
+}
+
+// HasInfiniteWait reports whether some dead non-final marking is
+// reachable.
+func (r *ReachResult) HasInfiniteWait() bool { return r.Dead > 0 }
+
+// Reach explores the reachability graph of the built net breadth-first.
+func (b *Build) Reach(opt ReachOptions) *ReachResult {
+	if opt.MaxMarkings == 0 {
+		opt.MaxMarkings = 1 << 20
+	}
+	res := &ReachResult{}
+	n := b.Net
+	seen := map[string]bool{}
+	queue := []Marking{n.Initial}
+	seen[n.Initial.Key()] = true
+	res.Markings = 1
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		enabled := n.EnabledSet(m)
+		if len(enabled) == 0 {
+			if b.AllDone(m) {
+				res.Completed = true
+			} else {
+				res.Dead++
+				if len(res.DeadMarkings) < 64 {
+					res.DeadMarkings = append(res.DeadMarkings, m)
+				}
+			}
+			continue
+		}
+		for _, t := range enabled {
+			next := n.Fire(m, t)
+			res.Firings++
+			k := next.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			res.Markings++
+			if res.Markings >= opt.MaxMarkings {
+				res.Truncated = true
+				return res
+			}
+			queue = append(queue, next)
+		}
+	}
+	return res
+}
+
+// StuckTasks lists the task indices not done in a dead marking, for
+// reporting.
+func (b *Build) StuckTasks(m Marking) []int {
+	var out []int
+	for ti, d := range b.DoneOf {
+		if m[d] == 0 {
+			out = append(out, ti)
+		}
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+package sat3
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sg"
+)
+
+func theorem2Analyzer(t *testing.T, f *Formula) *core.Analyzer {
+	t.Helper()
+	p, err := BuildTheorem2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sg.FromProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewAnalyzer(g)
+}
+
+func TestTheorem2ConstructionShape(t *testing.T) {
+	f := &Formula{NumVars: 4, Clauses: []Clause{{1, 2, -3}, {1, 3, -4}}}
+	p, err := BuildTheorem2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 literal tasks + 6 anti-ordering tasks + ordering tasks for v3, v4
+	// (both polarities)... v1 appears only positive, v2 only positive,
+	// v3 both (pos in clause 2? (1,3,-4): v3 positive; clause 1 has -3)
+	// => ordered; v4 negative only => no ordering task.
+	wantTasks := 6 + 6 + 1 // Ord_3 only
+	if len(p.Tasks) != wantTasks {
+		names := ""
+		for _, task := range p.Tasks {
+			names += task.Name + " "
+		}
+		t.Fatalf("tasks=%d (%s), want %d", len(p.Tasks), names, wantTasks)
+	}
+	if p.TaskByName("Ord_3") == nil {
+		t.Fatal("Ord_3 missing")
+	}
+	if p.TaskByName("Ord_4") != nil || p.TaskByName("Ord_1") != nil {
+		t.Fatal("single-polarity variable got an ordering task")
+	}
+}
+
+func TestTheorem2OrderingFacts(t *testing.T) {
+	// v1 appears positive in clause 0 and negative in clause 1: the
+	// ordering machinery must make the positive top precede the negative
+	// top, and leave unrelated top pairs unordered.
+	f := &Formula{NumVars: 5, Clauses: []Clause{{1, 2, 3}, {-1, 4, 5}}}
+	an := theorem2Analyzer(t, f)
+	g := an.SG
+	posTop := g.NodeByLabel(TopLabel(0, 0)) // literal v1
+	negTop := g.NodeByLabel(TopLabel(1, 0)) // literal ~v1
+	other := g.NodeByLabel(TopLabel(0, 1))  // literal v2
+	if posTop < 0 || negTop < 0 || other < 0 {
+		t.Fatal("top labels missing")
+	}
+	if !an.Ord.Precede[posTop][negTop] {
+		t.Fatal("positive top must precede negative top of the same variable")
+	}
+	if an.Ord.Sequenceable(posTop, other) {
+		t.Fatal("tops of different variables must stay unordered")
+	}
+	if an.Ord.Sequenceable(negTop, other) {
+		t.Fatal("negative top ordered with unrelated top")
+	}
+}
+
+func TestTheorem2NegativeTopsUnordered(t *testing.T) {
+	// Two negative occurrences of one variable: their tops must NOT be
+	// ordered with each other (the anti-ordering tasks guarantee an
+	// execution where either can wait while the other proceeds).
+	f := &Formula{NumVars: 5, Clauses: []Clause{{-1, 2, 3}, {-1, 4, 5}, {1, 2, 4}}}
+	an := theorem2Analyzer(t, f)
+	g := an.SG
+	neg1 := g.NodeByLabel(TopLabel(0, 0))
+	neg2 := g.NodeByLabel(TopLabel(1, 0))
+	if an.Ord.Sequenceable(neg1, neg2) {
+		t.Fatal("negative tops of the same variable must be unordered")
+	}
+}
+
+func TestTheorem2SatisfiableHasCycle(t *testing.T) {
+	// (v1 | v2 | v3) & (~v1 | v2 | v3): satisfiable (set v2).
+	f := &Formula{NumVars: 3, Clauses: []Clause{{1, 2, 3}, {-1, 2, 3}}}
+	an := theorem2Analyzer(t, f)
+	has, complete := Theorem2HasValidCycle(an, 0)
+	if !complete {
+		t.Fatal("enumeration truncated")
+	}
+	if !has {
+		t.Fatal("satisfiable formula produced no valid cycle")
+	}
+}
+
+func TestTheorem2UnsatisfiableStyleConflict(t *testing.T) {
+	// A cycle choosing v1 in clause 0 and ~v1 in clause 1 must be ruled
+	// out by sequenceability when those are the only choices:
+	// (v1|v2|v3) & (~v1|~2?...) — build a formula whose ONLY consistent
+	// selections require avoiding the conflicting pair, then flip to a
+	// formula with no consistent selection at all. With 3 literals per
+	// clause a 2-clause formula is always "selectable", so conflict-only
+	// selection needs all pairs conflicting: (v1,v2,v3) vs
+	// (~v1,~v2,~v3)... any non-conflicting pick (v1 with ~v2) exists, so
+	// instead verify the *pair-level* claim directly: every cycle that
+	// picks v1 in clause 0 and ~v1 in clause 1 has sequenceable heads.
+	f := &Formula{NumVars: 3, Clauses: []Clause{{1, 2, 3}, {-1, -2, -3}}}
+	an := theorem2Analyzer(t, f)
+	cycles, complete := an.EnumerateCycles(0)
+	if !complete {
+		t.Fatal("enumeration truncated")
+	}
+	g := an.SG
+	conflict := 0
+	for _, ci := range cycles {
+		heads := map[int]bool{}
+		for _, h := range ci.Heads {
+			heads[h] = true
+		}
+		for v := 0; v < 3; v++ {
+			pos := g.NodeByLabel(TopLabel(0, v))
+			neg := g.NodeByLabel(TopLabel(1, v))
+			if heads[pos] && heads[neg] {
+				conflict++
+				if !an.Ord.Sequenceable(pos, neg) {
+					t.Fatalf("conflicting heads v%d not sequenceable", v+1)
+				}
+			}
+		}
+	}
+	if conflict == 0 {
+		t.Fatal("no conflicting-selection cycles enumerated; gadget wiring suspect")
+	}
+}
+
+// The headline equivalence of Theorem 2, validated against DPLL on random
+// small formulas: the gadget program's sync graph has a literal-task cycle
+// with pairwise-unsequenceable heads iff the formula is satisfiable.
+func TestQuickTheorem2MatchesDPLL(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 3 + rng.Intn(3)
+		nc := 2 + rng.Intn(2) // keep 3^m cycle enumeration small
+		fm := Random(rng, nv, nc)
+		p, err := BuildTheorem2(fm)
+		if err != nil {
+			return false
+		}
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			return false
+		}
+		an := core.NewAnalyzer(g)
+		has, complete := Theorem2HasValidCycle(an, 60000)
+		if !complete {
+			return true // skip
+		}
+		sat, _ := Solve(fm)
+		if has != sat {
+			t.Logf("mismatch: sat=%v cycle=%v for %s", sat, has, fm)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-check: the selection-based checker agrees with full CLG cycle
+// enumeration (restricted to literal tasks, heads filtered pairwise) on
+// small formulas. This justifies using the fast selection form on bigger
+// ones, where multi-wrap cycles drown the generic enumerator.
+func TestTheorem2SelectionMatchesGraphEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		fm := Random(rng, 3+rng.Intn(2), 2)
+		an := theorem2Analyzer(t, fm)
+		fast, complete := Theorem2HasValidCycle(an, 0)
+		if !complete {
+			t.Fatal("selection enumeration truncated on tiny input")
+		}
+		g := an.SG
+		inLiteralTask := func(n int) bool {
+			task := g.Nodes[n].Task
+			return len(task) >= 2 && task[0] == 'L' && task[1] == '_'
+		}
+		cycles, ok := an.EnumerateCyclesRestricted(300000, inLiteralTask)
+		if !ok {
+			t.Skip("graph enumeration truncated")
+		}
+		slow := false
+		for _, ci := range cycles {
+			good := true
+			for i, a := range ci.Heads {
+				for _, b := range ci.Heads[i+1:] {
+					if a != b && an.Ord.Sequenceable(a, b) {
+						good = false
+					}
+				}
+			}
+			if good {
+				slow = true
+				break
+			}
+		}
+		if fast != slow {
+			t.Fatalf("selection=%v graph=%v for %s", fast, slow, fm)
+		}
+	}
+}
+
+// unsat3 is the canonical unsatisfiable 3-variable formula: all eight
+// sign patterns as clauses.
+func unsat3() *Formula {
+	return &Formula{NumVars: 3, Clauses: []Clause{
+		{1, 2, 3}, {1, 2, -3}, {1, -2, 3}, {1, -2, -3},
+		{-1, 2, 3}, {-1, 2, -3}, {-1, -2, 3}, {-1, -2, -3},
+	}}
+}
+
+// The unsatisfiable side of the equivalence, pinned on the canonical
+// 8-clause UNSAT formula: no literal-task cycle with pairwise
+// unsequenceable heads may exist.
+func TestTheorem2UnsatisfiableFormulaHasNoCycle(t *testing.T) {
+	fm := unsat3()
+	if sat, _ := Solve(fm); sat {
+		t.Fatal("fixture is satisfiable")
+	}
+	an := theorem2Analyzer(t, fm)
+	has, complete := Theorem2HasValidCycle(an, 0)
+	if !complete {
+		t.Fatal("truncated")
+	}
+	if has {
+		t.Fatal("unsatisfiable formula produced a valid cycle; reduction broken")
+	}
+}
+
+func TestTheorem3UnsatisfiableFormulaHasNoCycle(t *testing.T) {
+	fm := unsat3()
+	g, err := BuildTheorem3(fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := core.NewAnalyzer(g)
+	has, complete := Theorem3HasValidCycle(an, 0)
+	if !complete {
+		t.Fatal("truncated")
+	}
+	if has {
+		t.Fatal("unsatisfiable formula produced a valid cycle; reduction broken")
+	}
+}
+
+// Denser formulas (3 vars, 6-8 clauses) mix nearly-unsatisfiable
+// instances; the selection checker makes them tractable.
+func TestQuickTheorem2DenseFormulas(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fm := Random(rng, 3, 6+rng.Intn(3))
+		an := theorem2Analyzer(t, fm)
+		has, complete := Theorem2HasValidCycle(an, 0)
+		if !complete {
+			return true
+		}
+		sat, _ := Solve(fm)
+		if has != sat {
+			t.Logf("mismatch: sat=%v cycle=%v for %s", sat, has, fm)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTheorem3DenseFormulas(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fm := Random(rng, 3, 6+rng.Intn(3))
+		g, err := BuildTheorem3(fm)
+		if err != nil {
+			return false
+		}
+		an := core.NewAnalyzer(g)
+		has, complete := Theorem3HasValidCycle(an, 0)
+		if !complete {
+			return true
+		}
+		sat, _ := Solve(fm)
+		if has != sat {
+			t.Logf("mismatch: sat=%v cycle=%v for %s", sat, has, fm)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem3ConstructionShape(t *testing.T) {
+	f := &Formula{NumVars: 3, Clauses: []Clause{{1, 2, 3}, {-1, 2, 3}}}
+	g, err := BuildTheorem3(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 tasks, each 1 top + 3 signaling = 24 rendezvous nodes + b,e.
+	if g.N() != 26 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// Artificial accept-accept sync edge between tops of v1's pos/neg.
+	pos := g.NodeByLabel(TopLabel(0, 0))
+	neg := g.NodeByLabel(TopLabel(1, 0))
+	if !g.HasSyncEdge(pos, neg) {
+		t.Fatal("artificial pos/neg top sync edge missing")
+	}
+}
+
+func TestQuickTheorem3MatchesDPLL(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 3 + rng.Intn(3)
+		nc := 2 + rng.Intn(2)
+		fm := Random(rng, nv, nc)
+		g, err := BuildTheorem3(fm)
+		if err != nil {
+			return false
+		}
+		an := core.NewAnalyzer(g)
+		has, complete := Theorem3HasValidCycle(an, 60000)
+		if !complete {
+			return true
+		}
+		sat, _ := Solve(fm)
+		if has != sat {
+			t.Logf("mismatch: sat=%v cycle=%v for %s", sat, has, fm)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The artificial sync edges of Theorem 3 may not create new cycles: a
+// cycle through such an edge would enter and leave a top node through
+// sync edges, which the CLG construction forbids (constraint 1b).
+func TestTheorem3ArtificialEdgesAddNoCycles(t *testing.T) {
+	f := &Formula{NumVars: 3, Clauses: []Clause{{1, 2, 3}, {-1, -2, -3}}}
+	withEdges, err := BuildTheorem3(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anWith := core.NewAnalyzer(withEdges)
+	cWith, ok1 := anWith.EnumerateCycles(0)
+	// Rebuild without the artificial edges by constructing from a
+	// formula with no complementary pairs (rename negatives to fresh
+	// vars).
+	f2 := &Formula{NumVars: 6, Clauses: []Clause{{1, 2, 3}, {4, 5, 6}}}
+	without, err := BuildTheorem3(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anWithout := core.NewAnalyzer(without)
+	cWithout, ok2 := anWithout.EnumerateCycles(0)
+	if !ok1 || !ok2 {
+		t.Fatal("enumeration truncated")
+	}
+	if len(cWith) != len(cWithout) {
+		t.Fatalf("artificial edges changed cycle count: %d vs %d", len(cWith), len(cWithout))
+	}
+}

@@ -1,0 +1,254 @@
+// Package sat3 provides the 3-satisfiability substrate for reproducing the
+// paper's Appendix A: a CNF representation, a complete DPLL solver used as
+// ground truth, and the two reductions — Theorem 2 builds a MiniAda
+// *program* whose sync graph has a deadlock cycle with pairwise
+// unsequenceable head nodes iff the formula is satisfiable, and Theorem 3
+// builds a raw *sync graph* with a constraint-1+2 cycle iff the formula is
+// satisfiable.
+package sat3
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Lit is a literal: +v for variable v, -v for its negation (v >= 1).
+type Lit int
+
+// Var returns the 1-based variable index.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Pos reports whether the literal is positive.
+func (l Lit) Pos() bool { return l > 0 }
+
+func (l Lit) String() string {
+	if l < 0 {
+		return fmt.Sprintf("~v%d", -l)
+	}
+	return fmt.Sprintf("v%d", l)
+}
+
+// Clause is a disjunction of exactly three literals.
+type Clause [3]Lit
+
+// Formula is a 3-CNF formula.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+func (f *Formula) String() string {
+	s := ""
+	for i, c := range f.Clauses {
+		if i > 0 {
+			s += " & "
+		}
+		s += fmt.Sprintf("(%s|%s|%s)", c[0], c[1], c[2])
+	}
+	return s
+}
+
+// Validate checks literal ranges and that clauses do not repeat a variable
+// (the reductions create one task per literal occurrence and rely on
+// distinct variables within a clause).
+func (f *Formula) Validate() error {
+	if f.NumVars < 1 {
+		return fmt.Errorf("sat3: formula needs at least one variable")
+	}
+	if len(f.Clauses) < 1 {
+		return fmt.Errorf("sat3: formula needs at least one clause")
+	}
+	for i, c := range f.Clauses {
+		seen := map[int]bool{}
+		for _, l := range c {
+			if l == 0 || l.Var() > f.NumVars {
+				return fmt.Errorf("sat3: clause %d: literal %d out of range", i, l)
+			}
+			if seen[l.Var()] {
+				return fmt.Errorf("sat3: clause %d repeats variable v%d", i, l.Var())
+			}
+			seen[l.Var()] = true
+		}
+	}
+	return nil
+}
+
+// Eval reports whether assignment (1-based; true means the variable is
+// set) satisfies the formula.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var()] == l.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Random generates a uniformly random 3-CNF formula with the given shape,
+// with distinct variables inside each clause. Requires numVars >= 3.
+func Random(rng *rand.Rand, numVars, numClauses int) *Formula {
+	f := &Formula{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		perm := rng.Perm(numVars)
+		var c Clause
+		for j := 0; j < 3; j++ {
+			v := perm[j] + 1
+			if rng.Intn(2) == 0 {
+				c[j] = Lit(-v)
+			} else {
+				c[j] = Lit(v)
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// Solve decides satisfiability with DPLL (unit propagation + pure-literal
+// elimination + branching). It returns a satisfying assignment (1-based)
+// when one exists.
+func Solve(f *Formula) (bool, []bool) {
+	assign := make([]int8, f.NumVars+1) // 0 unknown, 1 true, -1 false
+	if !dpll(f, assign) {
+		return false, nil
+	}
+	out := make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = assign[v] == 1
+	}
+	return true, out
+}
+
+func litVal(assign []int8, l Lit) int8 {
+	v := assign[l.Var()]
+	if v == 0 {
+		return 0
+	}
+	if (v == 1) == l.Pos() {
+		return 1
+	}
+	return -1
+}
+
+func dpll(f *Formula, assign []int8) bool {
+	// Unit propagation and conflict detection, to a fixed point.
+	for {
+		unitFound := false
+		for _, c := range f.Clauses {
+			unassigned := Lit(0)
+			nUnassigned, satisfied := 0, false
+			for _, l := range c {
+				switch litVal(assign, l) {
+				case 1:
+					satisfied = true
+				case 0:
+					nUnassigned++
+					unassigned = l
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if nUnassigned == 0 {
+				return false // conflict
+			}
+			if nUnassigned == 1 {
+				if unassigned.Pos() {
+					assign[unassigned.Var()] = 1
+				} else {
+					assign[unassigned.Var()] = -1
+				}
+				unitFound = true
+			}
+		}
+		if !unitFound {
+			break
+		}
+	}
+	// Pure literal elimination.
+	posSeen := make([]bool, f.NumVars+1)
+	negSeen := make([]bool, f.NumVars+1)
+	for _, c := range f.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if litVal(assign, l) == 1 {
+				satisfied = true
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, l := range c {
+			if litVal(assign, l) == 0 {
+				if l.Pos() {
+					posSeen[l.Var()] = true
+				} else {
+					negSeen[l.Var()] = true
+				}
+			}
+		}
+	}
+	for v := 1; v <= f.NumVars; v++ {
+		if assign[v] != 0 {
+			continue
+		}
+		if posSeen[v] && !negSeen[v] {
+			assign[v] = 1
+		} else if negSeen[v] && !posSeen[v] {
+			assign[v] = -1
+		}
+	}
+	// Pick a branching variable from an unsatisfied clause.
+	branch := 0
+	allSat := true
+	for _, c := range f.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if litVal(assign, l) == 1 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		allSat = false
+		for _, l := range c {
+			if litVal(assign, l) == 0 {
+				branch = l.Var()
+				break
+			}
+		}
+		if branch != 0 {
+			break
+		}
+		return false // unsatisfied clause with no free literal
+	}
+	if allSat {
+		return true
+	}
+	saved := append([]int8(nil), assign...)
+	assign[branch] = 1
+	if dpll(f, assign) {
+		return true
+	}
+	copy(assign, saved)
+	assign[branch] = -1
+	if dpll(f, assign) {
+		return true
+	}
+	copy(assign, saved)
+	return false
+}

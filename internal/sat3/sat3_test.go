@@ -1,0 +1,100 @@
+package sat3
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTinyFormulas(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{Formula{NumVars: 3, Clauses: []Clause{{1, 2, 3}}}, true},
+		{Formula{NumVars: 3, Clauses: []Clause{{-1, -2, -3}}}, true},
+		// (a|b|c) & (~a|~b|~c) satisfiable.
+		{Formula{NumVars: 3, Clauses: []Clause{{1, 2, 3}, {-1, -2, -3}}}, true},
+		// Unsatisfiable: force a true and a false via 3-literal paddings
+		// over 3 vars: enumerate all 8 sign patterns of (x,y,z) — the
+		// conjunction of all 8 clauses is unsatisfiable.
+		{Formula{NumVars: 3, Clauses: []Clause{
+			{1, 2, 3}, {1, 2, -3}, {1, -2, 3}, {1, -2, -3},
+			{-1, 2, 3}, {-1, 2, -3}, {-1, -2, 3}, {-1, -2, -3},
+		}}, false},
+	}
+	for i, c := range cases {
+		sat, assign := Solve(&c.f)
+		if sat != c.want {
+			t.Fatalf("case %d: sat=%v, want %v", i, sat, c.want)
+		}
+		if sat && !c.f.Eval(assign) {
+			t.Fatalf("case %d: returned assignment does not satisfy", i)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Formula{
+		{NumVars: 0},
+		{NumVars: 2, Clauses: []Clause{{1, 2, 3}}},  // var out of range
+		{NumVars: 3, Clauses: []Clause{{1, -1, 2}}}, // repeated variable
+		{NumVars: 3, Clauses: []Clause{{0, 1, 2}}},  // zero literal
+		{NumVars: 3}, // no clauses
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, f)
+		}
+	}
+	good := Formula{NumVars: 3, Clauses: []Clause{{1, -2, 3}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSolveAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 3 + rng.Intn(4)
+		nc := 1 + rng.Intn(8)
+		fm := Random(rng, nv, nc)
+		if err := fm.Validate(); err != nil {
+			return false
+		}
+		sat, assign := Solve(fm)
+		if sat && !fm.Eval(assign) {
+			return false
+		}
+		return sat == bruteForce(fm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteForce(f *Formula) bool {
+	n := f.NumVars
+	assign := make([]bool, n+1)
+	for mask := 0; mask < 1<<n; mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLitHelpers(t *testing.T) {
+	if Lit(-4).Var() != 4 || Lit(4).Var() != 4 {
+		t.Fatal("Var wrong")
+	}
+	if Lit(-4).Pos() || !Lit(4).Pos() {
+		t.Fatal("Pos wrong")
+	}
+	if Lit(-2).String() != "~v2" || Lit(2).String() != "v2" {
+		t.Fatal("String wrong")
+	}
+}

@@ -1,0 +1,285 @@
+// Package sg implements the sync graph, the paper's static program
+// representation (§2): SG_P = (T, N, E_C, E_S) where N holds one node per
+// rendezvous statement plus the distinguished begin node b and end node e,
+// E_C holds directed control-flow edges between rendezvous points that some
+// control path connects without intervening rendezvous, and E_S holds an
+// undirected sync edge between every pair of complementary rendezvous
+// points of the same signal type.
+package sg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/graph"
+	"repro/internal/lang"
+)
+
+// Node is a sync graph node. ID 0 is always b and ID 1 is always e; b and e
+// are shared by all tasks, so their Task is empty.
+type Node struct {
+	ID    int
+	Task  string
+	Kind  cfg.NodeKind
+	Sig   lang.Signal
+	Label string
+}
+
+// IsRendezvous reports whether the node is a send or accept.
+func (n *Node) IsRendezvous() bool {
+	return n.Kind == cfg.KindSend || n.Kind == cfg.KindAccept
+}
+
+// Complementary reports whether nodes n and m form a matching signal pair:
+// same signal type, opposite signs.
+func (n *Node) Complementary(m *Node) bool {
+	if n.Sig != m.Sig {
+		return false
+	}
+	return (n.Kind == cfg.KindSend && m.Kind == cfg.KindAccept) ||
+		(n.Kind == cfg.KindAccept && m.Kind == cfg.KindSend)
+}
+
+func (n *Node) String() string {
+	switch n.Kind {
+	case cfg.KindEntry:
+		return "b"
+	case cfg.KindExit:
+		return "e"
+	case cfg.KindSend:
+		return fmt.Sprintf("%s:(%s,%s,+)", n.Label, n.Sig.Task, n.Sig.Msg)
+	default:
+		return fmt.Sprintf("%s:(%s,%s,-)", n.Label, n.Sig.Task, n.Sig.Msg)
+	}
+}
+
+// Graph is the sync graph of a program.
+type Graph struct {
+	Prog    *lang.Program
+	Nodes   []*Node
+	B, E    int            // ids of the distinguished nodes (always 0, 1)
+	Control *graph.Digraph // E_C, directed, over node ids
+	Sync    [][]int        // E_S adjacency, undirected, over node ids
+
+	Tasks      []string // task names in program order
+	TaskOf     []int    // node id -> task index; -1 for b and e
+	taskNodes  [][]int  // task index -> node ids (rendezvous only)
+	skipToExit []bool   // task index -> CFG had a direct entry->exit edge
+	byLabel    map[string]int
+}
+
+// Build parses nothing: it constructs the sync graph from per-task CFGs.
+func Build(pc *cfg.ProgramCFG) *Graph {
+	g := &Graph{
+		Prog:    pc.Prog,
+		Control: graph.New(2),
+		byLabel: map[string]int{},
+	}
+	g.Nodes = []*Node{{ID: 0, Kind: cfg.KindEntry}, {ID: 1, Kind: cfg.KindExit}}
+	g.B, g.E = 0, 1
+	g.TaskOf = []int{-1, -1}
+
+	// Create rendezvous nodes task by task; remember CFG-id -> SG-id maps.
+	maps := make([][]int, len(pc.Tasks))
+	for ti, tc := range pc.Tasks {
+		g.Tasks = append(g.Tasks, tc.Task)
+		m := make([]int, len(tc.Nodes))
+		for i := range m {
+			m[i] = -1
+		}
+		m[tc.Entry] = g.B
+		m[tc.Exit] = g.E
+		var ids []int
+		for _, n := range tc.Nodes {
+			if n.Kind != cfg.KindSend && n.Kind != cfg.KindAccept {
+				continue
+			}
+			id := len(g.Nodes)
+			g.Nodes = append(g.Nodes, &Node{
+				ID: id, Task: tc.Task, Kind: n.Kind, Sig: n.Sig, Label: n.Label,
+			})
+			g.TaskOf = append(g.TaskOf, ti)
+			m[n.ID] = id
+			ids = append(ids, id)
+			if n.Label != "" {
+				g.byLabel[n.Label] = id
+			}
+		}
+		maps[ti] = m
+		g.taskNodes = append(g.taskNodes, ids)
+		g.skipToExit = append(g.skipToExit, tc.G.HasEdge(tc.Entry, tc.Exit))
+	}
+
+	// Control edges.
+	g.Control.EnsureNode(len(g.Nodes) - 1)
+	for ti, tc := range pc.Tasks {
+		m := maps[ti]
+		for u := 0; u < tc.G.N(); u++ {
+			for _, v := range tc.G.Succ(u) {
+				g.Control.AddEdgeUnique(m[u], m[v])
+			}
+		}
+	}
+
+	// Sync edges: every complementary pair of the same signal type.
+	g.Sync = make([][]int, len(g.Nodes))
+	type ends struct{ plus, minus []int }
+	bySig := map[lang.Signal]*ends{}
+	for _, n := range g.Nodes {
+		if !n.IsRendezvous() {
+			continue
+		}
+		e := bySig[n.Sig]
+		if e == nil {
+			e = &ends{}
+			bySig[n.Sig] = e
+		}
+		if n.Kind == cfg.KindSend {
+			e.plus = append(e.plus, n.ID)
+		} else {
+			e.minus = append(e.minus, n.ID)
+		}
+	}
+	for _, e := range bySig {
+		for _, p := range e.plus {
+			for _, m := range e.minus {
+				g.Sync[p] = append(g.Sync[p], m)
+				g.Sync[m] = append(g.Sync[m], p)
+			}
+		}
+	}
+	for _, adj := range g.Sync {
+		sort.Ints(adj)
+	}
+	return g
+}
+
+// FromProgram builds CFGs and then the sync graph in one step.
+func FromProgram(p *lang.Program) (*Graph, error) {
+	pc, err := cfg.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	return Build(pc), nil
+}
+
+// MustFromProgram panics on error; for tests and fixed examples.
+func MustFromProgram(p *lang.Program) *Graph {
+	g, err := FromProgram(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of nodes including b and e.
+func (g *Graph) N() int { return len(g.Nodes) }
+
+// NumSyncEdges counts undirected sync edges.
+func (g *Graph) NumSyncEdges() int {
+	n := 0
+	for _, adj := range g.Sync {
+		n += len(adj)
+	}
+	return n / 2
+}
+
+// NumControlEdges counts directed control edges.
+func (g *Graph) NumControlEdges() int { return g.Control.M() }
+
+// TaskNodes returns the rendezvous node ids of task index ti.
+func (g *Graph) TaskNodes(ti int) []int { return g.taskNodes[ti] }
+
+// TaskIndex returns the index of the named task, or -1.
+func (g *Graph) TaskIndex(name string) int {
+	for i, t := range g.Tasks {
+		if t == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NodeByLabel resolves a rendezvous statement label to its node id, or -1.
+func (g *Graph) NodeByLabel(label string) int {
+	if id, ok := g.byLabel[label]; ok {
+		return id
+	}
+	return -1
+}
+
+// RemoveSyncEdges deletes the given undirected sync edges (pairs in
+// either orientation), returning how many existed. Feasibility
+// refinements (order.InfeasibleSyncPairs) use this before analysis.
+func (g *Graph) RemoveSyncEdges(pairs [][2]int) int {
+	drop := map[[2]int]bool{}
+	for _, p := range pairs {
+		drop[[2]int{p[0], p[1]}] = true
+		drop[[2]int{p[1], p[0]}] = true
+	}
+	removed := 0
+	for u := range g.Sync {
+		kept := g.Sync[u][:0]
+		for _, v := range g.Sync[u] {
+			if drop[[2]int{u, v}] {
+				removed++
+				continue
+			}
+			kept = append(kept, v)
+		}
+		g.Sync[u] = kept
+	}
+	return removed / 2
+}
+
+// HasSyncEdge reports whether {u, v} is in E_S.
+func (g *Graph) HasSyncEdge(u, v int) bool {
+	adj := g.Sync[u]
+	i := sort.SearchInts(adj, v)
+	return i < len(adj) && adj[i] == v
+}
+
+// InitialNodes returns task ti's possible first wave entries: the control
+// successors of b belonging to the task, plus e when the task's CFG allows
+// reaching the end without any rendezvous (paper: W_INIT[u] may be e when
+// there is a control flow edge (b, e) in task u). Because b and e are
+// shared nodes, the per-task b->e information is kept separately.
+func (g *Graph) InitialNodes(ti int) []int {
+	var out []int
+	for _, v := range g.Control.Succ(g.B) {
+		if v != g.E && g.TaskOf[v] == ti {
+			out = append(out, v)
+		}
+	}
+	if g.skipToExit[ti] {
+		out = append(out, g.E)
+	}
+	return out
+}
+
+// DOT renders the sync graph in Graphviz format: solid arrows are control
+// edges, dashed lines are sync edges.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph sync {\n  rankdir=TB;\n")
+	for _, n := range g.Nodes {
+		label := n.String()
+		b.WriteString(fmt.Sprintf("  n%d [label=%q];\n", n.ID, label))
+	}
+	for u := 0; u < g.Control.N(); u++ {
+		for _, v := range g.Control.Succ(u) {
+			b.WriteString(fmt.Sprintf("  n%d -- n%d [dir=forward];\n", u, v))
+		}
+	}
+	for u, adj := range g.Sync {
+		for _, v := range adj {
+			if u < v {
+				b.WriteString(fmt.Sprintf("  n%d -- n%d [style=dashed];\n", u, v))
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package stall
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// MergeBranches applies the paper's first stall-avoidance transform
+// (Figure 5 b→c): when both arms of a conditional begin (or end) with
+// rendezvous of the same type, one copy is hoisted out of the conditional,
+// preserving the relative order of the remaining nodes; conditionals whose
+// arms empty out are deleted. The transform runs to a fixed point and does
+// not mutate its input.
+func MergeBranches(p *lang.Program) *lang.Program {
+	q := p.Clone()
+	for _, t := range q.Tasks {
+		t.Body = mergeStmts(t.Body)
+	}
+	return q
+}
+
+func mergeStmts(ss []lang.Stmt) []lang.Stmt {
+	var out []lang.Stmt
+	for _, s := range ss {
+		switch v := s.(type) {
+		case *lang.If:
+			v.Then = mergeStmts(v.Then)
+			v.Else = mergeStmts(v.Else)
+			out = append(out, splitConditional(v)...)
+		case *lang.Loop:
+			v.Body = mergeStmts(v.Body)
+			out = append(out, v)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// splitConditional hoists matching leading and trailing rendezvous out of
+// an If, returning the replacement statement sequence.
+func splitConditional(v *lang.If) []lang.Stmt {
+	var prefix, suffix []lang.Stmt
+	// Leading matches.
+	for len(v.Then) > 0 && len(v.Else) > 0 && sameRendezvous(v.Then[0], v.Else[0]) {
+		prefix = append(prefix, v.Then[0])
+		v.Then = v.Then[1:]
+		v.Else = v.Else[1:]
+	}
+	// Trailing matches.
+	for len(v.Then) > 0 && len(v.Else) > 0 &&
+		sameRendezvous(v.Then[len(v.Then)-1], v.Else[len(v.Else)-1]) {
+		suffix = append([]lang.Stmt{v.Then[len(v.Then)-1]}, suffix...)
+		v.Then = v.Then[:len(v.Then)-1]
+		v.Else = v.Else[:len(v.Else)-1]
+	}
+	out := prefix
+	if len(v.Then) > 0 || len(v.Else) > 0 {
+		out = append(out, v)
+	}
+	return append(out, suffix...)
+}
+
+// sameRendezvous reports whether two statements are rendezvous of the same
+// kind and signal type.
+func sameRendezvous(a, b lang.Stmt) bool {
+	switch x := a.(type) {
+	case *lang.Send:
+		y, ok := b.(*lang.Send)
+		return ok && x.Target == y.Target && x.Msg == y.Msg
+	case *lang.Accept:
+		y, ok := b.(*lang.Accept)
+		return ok && x.Msg == y.Msg
+	}
+	return false
+}
+
+// CoDependence certifies that two conditionals — named by their condition
+// identifiers, in two different tasks — always evaluate the same way
+// (Figure 5 d: the value is communicated between the tasks and never
+// changed). The paper's "first alternative": the programmer certifies the
+// dependence; the transform is unsafe if the certification is wrong.
+type CoDependence struct {
+	CondA, CondB string
+}
+
+// HoistCertified applies the paper's second stall-avoidance transform:
+// for each certified co-dependent pair of conditionals, the rendezvous in
+// their then-arms are moved out of the conditionals (the pair executes
+// together or not at all, so for counting purposes the nodes may be
+// treated as unconditional). Conditionals must be then-only; an error
+// names any certification that does not match the program.
+func HoistCertified(p *lang.Program, deps []CoDependence) (*lang.Program, error) {
+	q := p.Clone()
+	for _, d := range deps {
+		na, err := hoistCond(q, d.CondA)
+		if err != nil {
+			return nil, err
+		}
+		nb, err := hoistCond(q, d.CondB)
+		if err != nil {
+			return nil, err
+		}
+		if na == 0 || nb == 0 {
+			return nil, fmt.Errorf("stall: co-dependence (%s, %s) matched no conditional", d.CondA, d.CondB)
+		}
+	}
+	return q, nil
+}
+
+func hoistCond(p *lang.Program, cond string) (int, error) {
+	hoisted := 0
+	var walk func(ss []lang.Stmt) ([]lang.Stmt, error)
+	walk = func(ss []lang.Stmt) ([]lang.Stmt, error) {
+		var out []lang.Stmt
+		for _, s := range ss {
+			switch v := s.(type) {
+			case *lang.If:
+				if v.Cond == cond {
+					if len(v.Else) > 0 {
+						return nil, fmt.Errorf("stall: certified conditional %q has an else arm; the factoring transform requires a then-only branch", cond)
+					}
+					body, err := walk(v.Then)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, body...)
+					hoisted++
+					continue
+				}
+				var err error
+				if v.Then, err = walk(v.Then); err != nil {
+					return nil, err
+				}
+				if v.Else, err = walk(v.Else); err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			case *lang.Loop:
+				body, err := walk(v.Body)
+				if err != nil {
+					return nil, err
+				}
+				v.Body = body
+				out = append(out, v)
+			default:
+				out = append(out, s)
+			}
+		}
+		return out, nil
+	}
+	for _, t := range p.Tasks {
+		body, err := walk(t.Body)
+		if err != nil {
+			return 0, err
+		}
+		t.Body = body
+	}
+	return hoisted, nil
+}

@@ -1,0 +1,126 @@
+package waves
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+	"repro/internal/sg"
+	"repro/internal/workload"
+)
+
+func TestStateGraphHandshake(t *testing.T) {
+	g := sg.MustFromProgram(lang.MustParse(`
+task t1 is
+begin
+  t2.sig1;
+  accept sig2;
+end;
+task t2 is
+begin
+  accept sig1;
+  t1.sig2;
+end;
+`))
+	s := BuildStateGraph(g, 0)
+	if s.Truncated {
+		t.Fatal("truncated")
+	}
+	if len(s.States) != 3 || len(s.Edges) != 2 {
+		t.Fatalf("states=%d edges=%d", len(s.States), len(s.Edges))
+	}
+	var completed int
+	for _, st := range s.States {
+		if st.Completed {
+			completed++
+		}
+		if st.Anomalous {
+			t.Fatal("handshake state flagged anomalous")
+		}
+	}
+	if completed != 1 {
+		t.Fatalf("completed states=%d", completed)
+	}
+	dot := s.DOT()
+	for _, want := range []string{"digraph waves", "doublecircle", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestStateGraphDeadlockColoring(t *testing.T) {
+	g := sg.MustFromProgram(workload.Ring(3))
+	s := BuildStateGraph(g, 0)
+	found := false
+	for _, st := range s.States {
+		if st.Deadlock {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ring deadlock state missing")
+	}
+	if !strings.Contains(s.DOT(), "salmon") {
+		t.Fatal("deadlock coloring missing")
+	}
+}
+
+func TestStateGraphTruncation(t *testing.T) {
+	g := sg.MustFromProgram(workload.ForkFan(4, 2))
+	s := BuildStateGraph(g, 5)
+	if !s.Truncated {
+		t.Fatal("cap not honored")
+	}
+	if len(s.States) > 5 {
+		t.Fatalf("states=%d over cap", len(s.States))
+	}
+}
+
+// The state graph must agree with Explore on the same graph: identical
+// state counts, and identical terminal classification totals.
+func TestQuickStateGraphMatchesExplore(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(2)
+		cfg.StmtsPerTask = 1 + rng.Intn(3)
+		p := workload.Random(rng, cfg)
+		g, err := sg.FromProgram(p)
+		if err != nil {
+			return false
+		}
+		res := Explore(g, Options{MaxStates: 100000, MaxAnomalies: 1 << 20})
+		s := BuildStateGraph(g, 100000)
+		if res.Truncated || s.Truncated {
+			return true
+		}
+		if len(s.States) != res.States {
+			return false
+		}
+		anomalous, deadlock, stall, completed := 0, false, false, false
+		for _, st := range s.States {
+			if st.Anomalous {
+				anomalous++
+			}
+			if st.Deadlock {
+				deadlock = true
+			}
+			if st.Stall {
+				stall = true
+			}
+			if st.Completed {
+				completed = true
+			}
+		}
+		return anomalous == res.AnomalousWaves &&
+			deadlock == res.Deadlock &&
+			stall == res.Stall &&
+			completed == res.Completed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

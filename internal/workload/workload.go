@@ -1,0 +1,265 @@
+// Package workload generates MiniAda programs for the benchmark harness:
+// deterministic families with known anomaly status (pipelines, rings,
+// client-server, barrier phases) and seeded random programs used to
+// measure detector precision against the exact wave explorer.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lang"
+)
+
+// Pipeline builds a deadlock-free chain: stage k sends `item` to stage k+1
+// depth times; every stage accepts before forwarding. stages >= 2.
+func Pipeline(stages, depth int) *lang.Program {
+	p := &lang.Program{}
+	name := func(k int) string { return fmt.Sprintf("stage%d", k) }
+	for k := 0; k < stages; k++ {
+		var body []lang.Stmt
+		for d := 0; d < depth; d++ {
+			if k > 0 {
+				body = append(body, &lang.Accept{Msg: "item"})
+			}
+			if k < stages-1 {
+				body = append(body, &lang.Send{Target: name(k + 1), Msg: "item"})
+			}
+		}
+		p.Tasks = append(p.Tasks, &lang.Task{Name: name(k), Body: body})
+	}
+	p.AssignLabels()
+	return p
+}
+
+// Ring builds the classic circular-wait deadlock: every task first calls
+// its right neighbour's entry, then accepts its own. All tasks block on
+// their sends and none reaches its accept. n >= 2.
+func Ring(n int) *lang.Program {
+	p := &lang.Program{}
+	name := func(k int) string { return fmt.Sprintf("phil%d", k) }
+	for k := 0; k < n; k++ {
+		body := []lang.Stmt{
+			&lang.Send{Target: name((k + 1) % n), Msg: "fork"},
+			&lang.Accept{Msg: "fork"},
+		}
+		p.Tasks = append(p.Tasks, &lang.Task{Name: name(k), Body: body})
+	}
+	p.AssignLabels()
+	return p
+}
+
+// RingBroken is Ring with one task's order flipped (the "leftie"
+// philosopher): it accepts before sending, which removes the circular
+// wait. Deadlock-free for all n >= 2.
+func RingBroken(n int) *lang.Program {
+	p := Ring(n)
+	t := p.Tasks[0]
+	t.Body[0], t.Body[1] = t.Body[1], t.Body[0]
+	p.AssignLabels()
+	return p
+}
+
+// ClientServer builds a deadlock-free request/reply pattern: each client
+// calls server.req and then accepts its reply; the server accepts all
+// requests and replies to clients in a fixed order.
+func ClientServer(clients int) *lang.Program {
+	p := &lang.Program{}
+	cname := func(k int) string { return fmt.Sprintf("client%d", k) }
+	var serverBody []lang.Stmt
+	for k := 0; k < clients; k++ {
+		serverBody = append(serverBody, &lang.Accept{Msg: "req"})
+	}
+	for k := 0; k < clients; k++ {
+		serverBody = append(serverBody, &lang.Send{Target: cname(k), Msg: "reply"})
+	}
+	p.Tasks = append(p.Tasks, &lang.Task{Name: "server", Body: serverBody})
+	for k := 0; k < clients; k++ {
+		p.Tasks = append(p.Tasks, &lang.Task{Name: cname(k), Body: []lang.Stmt{
+			&lang.Send{Target: "server", Msg: "req"},
+			&lang.Accept{Msg: "reply"},
+		}})
+	}
+	p.AssignLabels()
+	return p
+}
+
+// Barrier builds a deadlock-free phased barrier: in each of `phases`
+// rounds every worker calls coord.arrive and then accepts go; the
+// coordinator collects all arrivals before releasing anyone.
+func Barrier(workers, phases int) *lang.Program {
+	p := &lang.Program{}
+	wname := func(k int) string { return fmt.Sprintf("worker%d", k) }
+	var coord []lang.Stmt
+	for ph := 0; ph < phases; ph++ {
+		for k := 0; k < workers; k++ {
+			coord = append(coord, &lang.Accept{Msg: "arrive"})
+		}
+		for k := 0; k < workers; k++ {
+			coord = append(coord, &lang.Send{Target: wname(k), Msg: "go"})
+		}
+	}
+	p.Tasks = append(p.Tasks, &lang.Task{Name: "coord", Body: coord})
+	for k := 0; k < workers; k++ {
+		var body []lang.Stmt
+		for ph := 0; ph < phases; ph++ {
+			body = append(body,
+				&lang.Send{Target: "coord", Msg: "arrive"},
+				&lang.Accept{Msg: "go"},
+			)
+		}
+		p.Tasks = append(p.Tasks, &lang.Task{Name: wname(k), Body: body})
+	}
+	p.AssignLabels()
+	return p
+}
+
+// Config shapes Random program generation.
+type Config struct {
+	Tasks        int     // number of tasks (>= 2)
+	StmtsPerTask int     // top-level statement budget per task
+	Msgs         int     // distinct message names
+	BranchProb   float64 // probability a statement is an if
+	LoopProb     float64 // probability a statement is a bounded loop
+	MaxDepth     int     // nesting depth cap
+	AcceptRatio  float64 // fraction of rendezvous that are accepts
+}
+
+// DefaultConfig returns a moderate shape for precision experiments.
+func DefaultConfig() Config {
+	return Config{
+		Tasks:        3,
+		StmtsPerTask: 4,
+		Msgs:         2,
+		BranchProb:   0.25,
+		LoopProb:     0,
+		MaxDepth:     2,
+		AcceptRatio:  0.5,
+	}
+}
+
+// Random generates a seeded random program. Every send targets another
+// task and draws its message from a shared pool, so sync edges are dense
+// enough to exercise the detectors.
+func Random(rng *rand.Rand, cfg Config) *lang.Program {
+	if cfg.Tasks < 2 {
+		cfg.Tasks = 2
+	}
+	if cfg.Msgs < 1 {
+		cfg.Msgs = 1
+	}
+	p := &lang.Program{}
+	name := func(k int) string { return fmt.Sprintf("t%d", k) }
+	var gen func(self, budget, depth int) []lang.Stmt
+	gen = func(self, budget, depth int) []lang.Stmt {
+		var body []lang.Stmt
+		for i := 0; i < budget; i++ {
+			r := rng.Float64()
+			switch {
+			case depth < cfg.MaxDepth && r < cfg.BranchProb:
+				thenB := gen(self, 1+rng.Intn(2), depth+1)
+				var elseB []lang.Stmt
+				if rng.Intn(2) == 0 {
+					elseB = gen(self, 1+rng.Intn(2), depth+1)
+				}
+				body = append(body, &lang.If{
+					Cond: fmt.Sprintf("c%d", rng.Intn(8)),
+					Then: thenB, Else: elseB,
+				})
+			case depth < cfg.MaxDepth && r < cfg.BranchProb+cfg.LoopProb:
+				body = append(body, &lang.Loop{
+					Count: 1 + rng.Intn(3),
+					Body:  gen(self, 1+rng.Intn(2), depth+1),
+				})
+			case rng.Float64() < cfg.AcceptRatio:
+				body = append(body, &lang.Accept{
+					Msg: fmt.Sprintf("m%d", rng.Intn(cfg.Msgs)),
+				})
+			default:
+				target := rng.Intn(cfg.Tasks - 1)
+				if target >= self {
+					target++
+				}
+				body = append(body, &lang.Send{
+					Target: name(target),
+					Msg:    fmt.Sprintf("m%d", rng.Intn(cfg.Msgs)),
+				})
+			}
+		}
+		return body
+	}
+	for k := 0; k < cfg.Tasks; k++ {
+		p.Tasks = append(p.Tasks, &lang.Task{Name: name(k), Body: gen(k, cfg.StmtsPerTask, 0)})
+	}
+	p.AssignLabels()
+	return p
+}
+
+// NestedLoops builds one task whose body nests `depth` loops around a
+// two-rendezvous kernel with a partner task; used to measure the unroll
+// transform's 2^depth growth (paper §3.1.4).
+func NestedLoops(depth, bodyStmts int) *lang.Program {
+	kernel := make([]lang.Stmt, 0, bodyStmts)
+	for i := 0; i < bodyStmts; i++ {
+		if i%2 == 0 {
+			kernel = append(kernel, &lang.Send{Target: "sink", Msg: "m"})
+		} else {
+			kernel = append(kernel, &lang.Accept{Msg: "r"})
+		}
+	}
+	body := kernel
+	for d := 0; d < depth; d++ {
+		body = []lang.Stmt{&lang.Loop{Cond: fmt.Sprintf("w%d", d), Body: body}}
+	}
+	sink := []lang.Stmt{&lang.Loop{Cond: "drain", Body: []lang.Stmt{
+		&lang.Accept{Msg: "m"},
+		&lang.Send{Target: "src", Msg: "r"},
+	}}}
+	p := &lang.Program{Tasks: []*lang.Task{
+		{Name: "src", Body: body},
+		{Name: "sink", Body: sink},
+	}}
+	p.AssignLabels()
+	return p
+}
+
+// CrossRing builds a scaling family for runtime measurements: n tasks in a
+// ring where task k accepts from its left neighbour and sends to its right
+// neighbour `width` times, giving Theta(n*width) nodes and sync edges with
+// plenty of CLG cycles for the detectors to chew on.
+func CrossRing(n, width int) *lang.Program {
+	p := &lang.Program{}
+	name := func(k int) string { return fmt.Sprintf("t%d", k) }
+	for k := 0; k < n; k++ {
+		var body []lang.Stmt
+		for w := 0; w < width; w++ {
+			body = append(body,
+				&lang.Accept{Msg: "tok"},
+				&lang.Send{Target: name((k + 1) % n), Msg: "tok"},
+			)
+		}
+		p.Tasks = append(p.Tasks, &lang.Task{Name: name(k), Body: body})
+	}
+	p.AssignLabels()
+	return p
+}
+
+// ForkFan builds a rendezvous-dense, deadlock-free program whose exact
+// wave space grows exponentially with n: n independent worker pairs that
+// each exchange `depth` messages, so the explorer must interleave
+// (depth+1)^n states while the static detectors stay polynomial.
+func ForkFan(n, depth int) *lang.Program {
+	p := &lang.Program{}
+	for k := 0; k < n; k++ {
+		a := fmt.Sprintf("a%d", k)
+		bn := fmt.Sprintf("b%d", k)
+		var sa, sb []lang.Stmt
+		for d := 0; d < depth; d++ {
+			sa = append(sa, &lang.Send{Target: bn, Msg: "m"})
+			sb = append(sb, &lang.Accept{Msg: "m"})
+		}
+		p.Tasks = append(p.Tasks, &lang.Task{Name: a, Body: sa}, &lang.Task{Name: bn, Body: sb})
+	}
+	p.AssignLabels()
+	return p
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+	"repro/internal/waves"
+)
+
+func TestPipelineValidAndClean(t *testing.T) {
+	p := Pipeline(3, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := waves.ExploreProgram(p, waves.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.HasAnomaly() {
+		t.Fatalf("pipeline misbehaves: %+v", res)
+	}
+}
+
+func TestRingDeadlocks(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		res, err := waves.ExploreProgram(Ring(n), waves.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Deadlock || res.Completed {
+			t.Fatalf("ring(%d): %+v", n, res)
+		}
+	}
+}
+
+func TestRingBrokenIsDeadlockFree(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		res, err := waves.ExploreProgram(RingBroken(n), waves.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlock {
+			t.Fatalf("ring-broken(%d) deadlocks", n)
+		}
+		if !res.Completed {
+			t.Fatalf("ring-broken(%d) cannot complete", n)
+		}
+	}
+}
+
+func TestClientServerClean(t *testing.T) {
+	res, err := waves.ExploreProgram(ClientServer(3), waves.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Deadlock {
+		t.Fatalf("client-server: %+v", res)
+	}
+}
+
+func TestBarrierClean(t *testing.T) {
+	res, err := waves.ExploreProgram(Barrier(2, 2), waves.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.HasAnomaly() {
+		t.Fatalf("barrier: %+v", res)
+	}
+}
+
+func TestForkFanStateGrowth(t *testing.T) {
+	// The exact state space of n independent pairs exchanging d messages
+	// is (d+1)^n (each pair advances independently).
+	for _, n := range []int{1, 2, 3} {
+		res, err := waves.ExploreProgram(ForkFan(n, 2), waves.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		for i := 0; i < n; i++ {
+			want *= 3
+		}
+		if res.States != want {
+			t.Fatalf("ForkFan(%d,2): states=%d, want %d", n, res.States, want)
+		}
+		if res.HasAnomaly() || !res.Completed {
+			t.Fatalf("ForkFan(%d,2) misbehaves: %+v", n, res)
+		}
+	}
+}
+
+func TestNestedLoopsShape(t *testing.T) {
+	p := NestedLoops(3, 4)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.CountRendezvous() != 4+2 {
+		t.Fatalf("rendezvous=%d", p.CountRendezvous())
+	}
+}
+
+func TestCrossRingShape(t *testing.T) {
+	p := CrossRing(4, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tasks) != 4 || p.CountRendezvous() != 4*2*2 {
+		t.Fatalf("shape wrong: %d tasks, %d rendezvous", len(p.Tasks), p.CountRendezvous())
+	}
+}
+
+func TestQuickRandomProgramsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(4)
+		cfg.StmtsPerTask = 1 + rng.Intn(5)
+		cfg.LoopProb = 0.15
+		p := Random(rng, cfg)
+		if err := p.Validate(); err != nil {
+			return false
+		}
+		// Round-trips through the printer.
+		q, err := lang.Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return q.CountRendezvous() == p.CountRendezvous()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	p1 := Random(rand.New(rand.NewSource(42)), DefaultConfig())
+	p2 := Random(rand.New(rand.NewSource(42)), DefaultConfig())
+	if p1.String() != p2.String() {
+		t.Fatal("same seed produced different programs")
+	}
+}

@@ -1,0 +1,176 @@
+package siwa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/waves"
+	"repro/internal/workload"
+)
+
+// End-to-end safety through the full Lemma 1 pipeline: for random programs
+// *with loops*, if the exact explorer (with bounded loops expanded
+// precisely) can reach a deadlock, every detector run on the twice-
+// unrolled program must report it. This exercises parse -> unroll -> sync
+// graph -> CLG -> detectors as one unit.
+func TestQuickLoopPipelineSafety(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(2)
+		cfg.StmtsPerTask = 2 + rng.Intn(2)
+		cfg.BranchProb = 0.2
+		cfg.LoopProb = 0.3
+		p := workload.Random(rng, cfg)
+		exact, err := waves.ExploreProgram(p, waves.Options{MaxStates: 200000})
+		if err != nil || exact.Truncated || !exact.Deadlock {
+			return true // no ground-truth deadlock to miss
+		}
+		for _, algo := range []Algorithm{
+			AlgoNaive, AlgoRefined, AlgoRefinedPairs,
+			AlgoRefinedHeadTail, AlgoRefinedHeadTailPairs,
+		} {
+			rep, err := Analyze(p, Options{Algorithm: algo})
+			if err != nil {
+				return false
+			}
+			if !rep.Deadlock.MayDeadlock {
+				t.Logf("UNSOUND through unroll pipeline: %v missed deadlock in\n%s", algo, p)
+				return false
+			}
+		}
+		// The enumeration detector must stay safe through the pipeline.
+		rep, err := Analyze(p, Options{Enumerate: true, EnumerateLimit: 1 << 16})
+		if err != nil {
+			return false
+		}
+		if rep.Enumerated.Conclusive && !rep.Enumerated.MayDeadlock {
+			t.Logf("UNSOUND through unroll pipeline: enumeration missed deadlock in\n%s", p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FIFO-refined detection stays safe end to end on loop-free programs.
+func TestQuickFIFOSafety(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(2)
+		cfg.StmtsPerTask = 2 + rng.Intn(3)
+		cfg.BranchProb = 0.25
+		p := workload.Random(rng, cfg)
+		exact, err := waves.ExploreProgram(p, waves.Options{MaxStates: 200000})
+		if err != nil || exact.Truncated || !exact.Deadlock {
+			return true
+		}
+		for _, algo := range []Algorithm{AlgoNaive, AlgoRefined, AlgoRefinedPairs} {
+			rep, err := Analyze(p, Options{Algorithm: algo, FIFO: true})
+			if err != nil {
+				return false
+			}
+			if !rep.Deadlock.MayDeadlock {
+				t.Logf("UNSOUND with FIFO: %v missed deadlock in\n%s", algo, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Safety of the constraint-4 certifier end to end: it may never certify a
+// program whose exact exploration deadlocks.
+func TestQuickConstraint4Safety(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(2)
+		cfg.StmtsPerTask = 2 + rng.Intn(2)
+		p := workload.Random(rng, cfg)
+		exact, err := waves.ExploreProgram(p, waves.Options{MaxStates: 200000})
+		if err != nil || exact.Truncated || !exact.Deadlock {
+			return true
+		}
+		rep, err := Analyze(p, Options{Constraint4: true})
+		if err != nil {
+			return false
+		}
+		if rep.Constraint4Conclusive && rep.Constraint4Free {
+			t.Logf("UNSOUND constraint-4 certificate for\n%s", p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stall-analysis safety end to end: on loop-free programs, when the
+// balance check says "balanced in every linearization", the exact
+// explorer must not find a pure stall (stalls without deadlock).
+func TestQuickStallBalanceSafety(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := workload.DefaultConfig()
+		cfg.Tasks = 2 + rng.Intn(2)
+		cfg.StmtsPerTask = 1 + rng.Intn(3)
+		cfg.BranchProb = 0.35
+		p := workload.Random(rng, cfg)
+		rep, err := Analyze(p, Options{})
+		if err != nil {
+			return false
+		}
+		if !rep.Stall.StallFree() {
+			return true // flagged; nothing to check
+		}
+		exact, err := waves.ExploreProgram(p, waves.Options{MaxStates: 200000})
+		if err != nil || exact.Truncated {
+			return true
+		}
+		if exact.Stall && !exact.Deadlock {
+			t.Logf("balanced program stalled without deadlock:\n%s", p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: analyzing the same program twice yields identical verdicts
+// and witness sets (the detectors are pure functions of the sync graph).
+func TestQuickAnalysisDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := workload.Random(rng, workload.DefaultConfig())
+		r1, err1 := Analyze(p, Options{AllAlgorithms: true})
+		r2, err2 := Analyze(p, Options{AllAlgorithms: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(r1.Spectrum) != len(r2.Spectrum) {
+			return false
+		}
+		for i := range r1.Spectrum {
+			a, b := r1.Spectrum[i], r2.Spectrum[i]
+			if a.MayDeadlock != b.MayDeadlock || len(a.Witnesses) != len(b.Witnesses) ||
+				a.Hypotheses != b.Hypotheses || a.SCCRuns != b.SCCRuns {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

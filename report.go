@@ -1,0 +1,135 @@
+package siwa
+
+import (
+	"encoding/json"
+)
+
+// JSONReport is the stable machine-readable projection of a Report,
+// emitted by Report.JSON and by siwad -json.
+type JSONReport struct {
+	Tasks           int  `json:"tasks"`
+	RendezvousNodes int  `json:"rendezvousNodes"`
+	SyncEdges       int  `json:"syncEdges"`
+	ControlEdges    int  `json:"controlEdges"`
+	Transformed     bool `json:"transformed"` // inlined and/or unrolled
+
+	Deadlock     JSONVerdict   `json:"deadlock"`
+	Spectrum     []JSONVerdict `json:"spectrum,omitempty"`
+	DeadlockFree bool          `json:"deadlockFree"`
+
+	Constraint4 *JSONConstraint4 `json:"constraint4,omitempty"`
+	Enumeration *JSONEnumeration `json:"enumeration,omitempty"`
+
+	StallFree    bool         `json:"stallFree"`
+	StallSignals []JSONSignal `json:"stallSignals,omitempty"`
+
+	Exact *JSONExact `json:"exact,omitempty"`
+}
+
+// JSONVerdict is one detector outcome.
+type JSONVerdict struct {
+	Algorithm   string     `json:"algorithm"`
+	MayDeadlock bool       `json:"mayDeadlock"`
+	Witnesses   [][]string `json:"witnesses,omitempty"`
+	Hypotheses  int        `json:"hypotheses"`
+	SCCRuns     int        `json:"sccRuns"`
+}
+
+// JSONConstraint4 is the global-condition certifier outcome.
+type JSONConstraint4 struct {
+	DeadlockFree bool `json:"deadlockFree"`
+	Conclusive   bool `json:"conclusive"`
+}
+
+// JSONEnumeration is the cycle-enumeration detector outcome.
+type JSONEnumeration struct {
+	MayDeadlock     bool `json:"mayDeadlock"`
+	Conclusive      bool `json:"conclusive"`
+	CyclesSeen      int  `json:"cyclesSeen"`
+	CyclesPlausible int  `json:"cyclesPlausible"`
+}
+
+// JSONSignal is one unbalanced signal from the stall analysis.
+type JSONSignal struct {
+	Task        string `json:"task"`
+	Msg         string `json:"msg"`
+	Constant    bool   `json:"constant"`
+	Delta       int    `json:"delta"`
+	VaryingTask string `json:"varyingTask,omitempty"`
+}
+
+// JSONExact summarizes the exact wave exploration.
+type JSONExact struct {
+	States         int  `json:"states"`
+	Transitions    int  `json:"transitions"`
+	Completed      bool `json:"completed"`
+	Deadlock       bool `json:"deadlock"`
+	Stall          bool `json:"stall"`
+	AnomalousWaves int  `json:"anomalousWaves"`
+	Truncated      bool `json:"truncated"`
+}
+
+func (r *Report) jsonVerdict(v Verdict) JSONVerdict {
+	out := JSONVerdict{
+		Algorithm:   v.Algorithm.String(),
+		MayDeadlock: v.MayDeadlock,
+		Hypotheses:  v.Hypotheses,
+		SCCRuns:     v.SCCRuns,
+	}
+	for _, w := range v.Witnesses {
+		out.Witnesses = append(out.Witnesses, r.WitnessLabels(w))
+	}
+	return out
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	out := JSONReport{
+		Tasks:           len(r.Graph.Tasks),
+		RendezvousNodes: r.Graph.N() - 2,
+		SyncEdges:       r.Graph.NumSyncEdges(),
+		ControlEdges:    r.Graph.NumControlEdges(),
+		Transformed:     r.Unrolled != r.Program,
+		Deadlock:        r.jsonVerdict(r.Deadlock),
+		DeadlockFree:    r.DeadlockFree(),
+		StallFree:       r.Stall.StallFree(),
+	}
+	for _, v := range r.Spectrum {
+		out.Spectrum = append(out.Spectrum, r.jsonVerdict(v))
+	}
+	if r.Constraint4Conclusive || r.Constraint4Free {
+		out.Constraint4 = &JSONConstraint4{
+			DeadlockFree: r.Constraint4Free,
+			Conclusive:   r.Constraint4Conclusive,
+		}
+	}
+	if r.Enumerated != nil {
+		out.Enumeration = &JSONEnumeration{
+			MayDeadlock:     r.Enumerated.MayDeadlock,
+			Conclusive:      r.Enumerated.Conclusive,
+			CyclesSeen:      r.Enumerated.CyclesSeen,
+			CyclesPlausible: r.Enumerated.CyclesPlausible,
+		}
+	}
+	for _, s := range r.Stall.Unbalanced() {
+		out.StallSignals = append(out.StallSignals, JSONSignal{
+			Task:        s.Sig.Task,
+			Msg:         s.Sig.Msg,
+			Constant:    s.Constant,
+			Delta:       s.Delta,
+			VaryingTask: s.VaryingTask,
+		})
+	}
+	if r.Exact != nil {
+		out.Exact = &JSONExact{
+			States:         r.Exact.States,
+			Transitions:    r.Exact.Transitions,
+			Completed:      r.Exact.Completed,
+			Deadlock:       r.Exact.Deadlock,
+			Stall:          r.Exact.Stall,
+			AnomalousWaves: r.Exact.AnomalousWaves,
+			Truncated:      r.Exact.Truncated,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,92 @@
+package siwa
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONReport(t *testing.T) {
+	p := MustParse(`
+task t1 is
+begin
+  accept sig1;
+  t2.sig2;
+end;
+task t2 is
+begin
+  accept sig2;
+  t1.sig1;
+end;
+`)
+	rep, err := Analyze(p, Options{
+		AllAlgorithms: true, Constraint4: true, Enumerate: true, Exact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out JSONReport
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, data)
+	}
+	if out.Tasks != 2 || out.RendezvousNodes != 4 || out.SyncEdges != 2 {
+		t.Fatalf("stats wrong: %+v", out)
+	}
+	if !out.Deadlock.MayDeadlock || out.DeadlockFree {
+		t.Fatalf("verdict wrong: %+v", out.Deadlock)
+	}
+	if len(out.Spectrum) != 5 {
+		t.Fatalf("spectrum=%d", len(out.Spectrum))
+	}
+	if out.Enumeration == nil || !out.Enumeration.MayDeadlock {
+		t.Fatalf("enumeration: %+v", out.Enumeration)
+	}
+	if out.Constraint4 == nil || out.Constraint4.DeadlockFree {
+		t.Fatalf("constraint4: %+v", out.Constraint4)
+	}
+	if out.Exact == nil || !out.Exact.Deadlock {
+		t.Fatalf("exact: %+v", out.Exact)
+	}
+	if len(out.Deadlock.Witnesses) == 0 || len(out.Deadlock.Witnesses[0]) != 4 {
+		t.Fatalf("witness labels: %+v", out.Deadlock.Witnesses)
+	}
+	if !out.StallFree {
+		t.Fatal("balanced program flagged for stall")
+	}
+}
+
+func TestJSONReportStallSignals(t *testing.T) {
+	p := MustParse(`
+task t1 is
+begin
+  accept go;
+end;
+task t2 is
+begin
+  t1.go;
+  accept done;
+end;
+`)
+	rep, err := Analyze(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out JSONReport
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.StallFree || len(out.StallSignals) != 1 {
+		t.Fatalf("%+v", out)
+	}
+	s := out.StallSignals[0]
+	if s.Task != "t2" || s.Msg != "done" || !s.Constant || s.Delta != -1 {
+		t.Fatalf("signal: %+v", s)
+	}
+}

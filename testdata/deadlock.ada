@@ -1,0 +1,12 @@
+-- Figure 2(b): both tasks accept first; deadlocks in every execution.
+task t1 is
+begin
+  accept sig1;
+  t2.sig2;
+end;
+
+task t2 is
+begin
+  accept sig2;
+  t1.sig1;
+end;

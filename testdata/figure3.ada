@@ -1,0 +1,19 @@
+-- Figure 3: the r,s,t,u cycle survives constraints 1-3 but task W always
+-- breaks it; only the constraint-4 certifier (-c4) proves freedom.
+task T1 is
+begin
+  r: accept mr;
+  s: T2.mt;
+end;
+
+task T2 is
+begin
+  t: accept mt;
+  u: T1.mr;
+  v: accept mt;
+end;
+
+task W is
+begin
+  w: T2.mt;
+end;

@@ -1,0 +1,12 @@
+-- Canonical correct handshake: certified deadlock-free by every detector.
+task t1 is
+begin
+  t2.sig1;
+  accept sig2;
+end;
+
+task t2 is
+begin
+  accept sig1;
+  t1.sig2;
+end;

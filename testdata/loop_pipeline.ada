@@ -1,0 +1,23 @@
+-- Bounded-loop producer/filter/consumer pipeline: deadlock-free and
+-- balanced; exercises the Lemma 1 twice-unroll path.
+task producer is
+begin
+  loop 4 times
+    filter.raw;
+  end loop;
+end;
+
+task filter is
+begin
+  loop 4 times
+    accept raw;
+    consumer.cooked;
+  end loop;
+end;
+
+task consumer is
+begin
+  loop 4 times
+    accept cooked;
+  end loop;
+end;

@@ -1,0 +1,18 @@
+-- Three dining philosophers, all right-handed: circular wait.
+task phil0 is
+begin
+  phil1.fork;
+  accept fork;
+end;
+
+task phil1 is
+begin
+  phil2.fork;
+  accept fork;
+end;
+
+task phil2 is
+begin
+  phil0.fork;
+  accept fork;
+end;

@@ -1,0 +1,18 @@
+-- Interprocedural handshake: the rendezvous live inside a procedure that
+-- is inlined into the calling task before analysis. Deadlock-free.
+procedure exchange is
+begin
+  peer.ping;
+  accept pong;
+end;
+
+task me is
+begin
+  call exchange;
+end;
+
+task peer is
+begin
+  accept ping;
+  me.pong;
+end;

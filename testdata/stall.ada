@@ -1,0 +1,12 @@
+-- Figure 2(a): after the go rendezvous, t2 waits on an accept nobody can
+-- ever signal. Caught by the Lemma 3/4 balance analysis.
+task t1 is
+begin
+  accept go;
+end;
+
+task t2 is
+begin
+  t1.go;
+  accept done;
+end;
