@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench fuzz experiments examples clean
+.PHONY: all build test race vet fmt bench fuzz experiments examples server clean
 
 all: build vet test
 
@@ -11,6 +11,14 @@ build:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the HTTP analysis service (ADDR overrides the listen address).
+ADDR ?= :8080
+server:
+	$(GO) run ./cmd/siwad-server -addr $(ADDR)
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,41 @@
+package siwa
+
+import "sort"
+
+// algorithmsByName is the canonical name registry for the detector
+// spectrum, shared by the siwad CLI and the analysis service so their
+// accepted spellings and error messages cannot drift apart.
+var algorithmsByName = map[string]Algorithm{
+	"naive":     AlgoNaive,
+	"refined":   AlgoRefined,
+	"pairs":     AlgoRefinedPairs,
+	"head-tail": AlgoRefinedHeadTail,
+	"ht-pairs":  AlgoRefinedHeadTailPairs,
+	"k-pairs":   AlgoRefinedKPairs,
+	"enumerate": AlgoEnumerate,
+}
+
+// Algorithms returns a copy of the canonical name -> Algorithm registry.
+func Algorithms() map[string]Algorithm {
+	out := make(map[string]Algorithm, len(algorithmsByName))
+	for n, a := range algorithmsByName {
+		out[n] = a
+	}
+	return out
+}
+
+// AlgorithmByName resolves a registry name ("refined", "ht-pairs", ...).
+func AlgorithmByName(name string) (Algorithm, bool) {
+	a, ok := algorithmsByName[name]
+	return a, ok
+}
+
+// AlgorithmNames returns every registry name, sorted.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(algorithmsByName))
+	for n := range algorithmsByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

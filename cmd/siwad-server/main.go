@@ -1,0 +1,75 @@
+// Command siwad-server runs the siwa analysis service: a long-running
+// HTTP JSON front end over the Masticola & Ryder detectors with a
+// content-addressed result cache and a bounded worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/analyze        one MiniAda program + options -> JSONReport
+//	POST /v1/analyze/batch  many programs, fanned out across the pool
+//	GET  /healthz           liveness probe
+//	GET  /metrics           counters, Prometheus text format
+//
+// Flags:
+//
+//	-addr HOST:PORT   listen address (default :8080)
+//	-workers N        concurrent analyses (default GOMAXPROCS)
+//	-cache N          result cache entries; 0 default (1024), -1 disables
+//	-max-body N       request body limit in bytes (default 4 MiB)
+//	-max-batch N      programs per batch request (default 256)
+//	-timeout D        default per-request analysis deadline (default 30s)
+//	-max-timeout D    upper clamp on client-requested deadlines (default 5m)
+//
+// The server drains in-flight requests on SIGINT/SIGTERM and exits 0 on a
+// clean shutdown.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("siwad-server", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 0, "result cache entries (0 = 1024, -1 disables)")
+	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = 4 MiB)")
+	maxBatch := fs.Int("max-batch", 0, "programs per batch request (0 = 256)")
+	timeout := fs.Duration("timeout", 0, "default analysis deadline (0 = 30s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "deadline clamp (0 = 5m)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	srv := service.New(service.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		MaxBodyBytes:   *maxBody,
+		MaxBatch:       *maxBatch,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		ShutdownGrace:  *grace,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "siwad-server: listening on %s\n", *addr)
+	if err := srv.Run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "siwad-server: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "siwad-server: drained, bye")
+	return 0
+}

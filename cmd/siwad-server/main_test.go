@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if code := run([]string{"-bogus"}); code != 2 {
+		t.Fatalf("exit=%d", code)
+	}
+	if code := run([]string{"-workers", "nope"}); code != 2 {
+		t.Fatalf("exit=%d", code)
+	}
+}
+
+func TestBadAddrExitsOne(t *testing.T) {
+	if code := run([]string{"-addr", "256.256.256.256:http"}); code != 1 {
+		t.Fatalf("exit=%d", code)
+	}
+}

@@ -31,21 +31,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	siwa "repro"
 	"repro/internal/clg"
 	"repro/internal/waves"
 )
 
-var algoNames = map[string]siwa.Algorithm{
-	"naive":     siwa.AlgoNaive,
-	"refined":   siwa.AlgoRefined,
-	"pairs":     siwa.AlgoRefinedPairs,
-	"head-tail": siwa.AlgoRefinedHeadTail,
-	"ht-pairs":  siwa.AlgoRefinedHeadTailPairs,
-	"k-pairs":   siwa.AlgoRefinedKPairs,
-	"enumerate": siwa.AlgoEnumerate,
-}
+// algoNames is the shared CLI/service registry; the -algo flag's accepted
+// spellings and the unknown-algorithm error both derive from it.
+var algoNames = siwa.Algorithms()
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -74,7 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	algorithm, ok := algoNames[*algo]
 	if !ok {
-		fmt.Fprintf(stderr, "siwad: unknown algorithm %q\n", *algo)
+		fmt.Fprintf(stderr, "siwad: unknown algorithm %q (valid: %s)\n",
+			*algo, strings.Join(siwa.AlgorithmNames(), ", "))
 		return 2
 	}
 

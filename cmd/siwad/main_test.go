@@ -111,8 +111,15 @@ func TestUsageErrors(t *testing.T) {
 	if code, _, _ := runCLI(t); code != 2 {
 		t.Fatal("no-args should be a usage error")
 	}
-	if code, _, _ := runCLI(t, "-algo", "bogus", "../../testdata/handshake.ada"); code != 2 {
+	code, _, errOut := runCLI(t, "-algo", "bogus", "../../testdata/handshake.ada")
+	if code != 2 {
 		t.Fatal("unknown algorithm accepted")
+	}
+	// The error must list every valid spelling, derived from the registry.
+	for name := range algoNames {
+		if !strings.Contains(errOut, name) {
+			t.Fatalf("unknown-algorithm error does not list %q:\n%s", name, errOut)
+		}
 	}
 	if code, _, _ := runCLI(t, "/nonexistent/file.ada"); code != 2 {
 		t.Fatal("missing file accepted")

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	siwa "repro"
+	"repro/internal/waves"
+)
+
+// CacheKey content-addresses one analysis: the SHA-256 of the program
+// source and the canonicalized options. Two requests that normalize to
+// the same key are guaranteed to produce the same JSONReport.
+type CacheKey [sha256.Size]byte
+
+func (k CacheKey) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// Key computes the content address of (source, options). Options are
+// canonicalized first — zero-value limits are replaced by the defaults the
+// pipeline would apply — so e.g. EnumerateLimit 0 and 4096 share an entry.
+func Key(source string, opt siwa.Options) CacheKey {
+	opt = canonicalize(opt)
+	h := sha256.New()
+	fmt.Fprintf(h, "siwa-report-v%d\x00algo=%d;all=%t;c4=%t;enum=%t;enumLimit=%d;fifo=%t;exact=%t;maxStates=%d;maxAnomalies=%d;loopLimit=%d\x00",
+		siwa.SchemaVersion, opt.Algorithm, opt.AllAlgorithms, opt.Constraint4,
+		opt.Enumerate, opt.EnumerateLimit, opt.FIFO, opt.Exact,
+		opt.ExactOptions.MaxStates, opt.ExactOptions.MaxAnomalies,
+		opt.ExactOptions.LoopExpansionLimit)
+	io.WriteString(h, source)
+	var k CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// canonicalize replaces zero-value limits with the defaults each pipeline
+// stage would substitute, so equivalent requests address the same entry.
+// The trace flag is excluded from the key on purpose: the service never
+// returns traces, so it pins Traces off instead of keying on it.
+func canonicalize(opt siwa.Options) siwa.Options {
+	if opt.EnumerateLimit == 0 {
+		opt.EnumerateLimit = 4096
+	}
+	if opt.ExactOptions.MaxStates == 0 {
+		opt.ExactOptions.MaxStates = 1 << 20
+	}
+	if opt.ExactOptions.MaxAnomalies == 0 {
+		opt.ExactOptions.MaxAnomalies = 64
+	}
+	if opt.ExactOptions.LoopExpansionLimit == 0 {
+		opt.ExactOptions.LoopExpansionLimit = 64
+	}
+	opt.ExactOptions = waves.Options{
+		MaxStates:          opt.ExactOptions.MaxStates,
+		MaxAnomalies:       opt.ExactOptions.MaxAnomalies,
+		LoopExpansionLimit: opt.ExactOptions.LoopExpansionLimit,
+	}
+	return opt
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Cache is a bounded LRU over analysis results, keyed by content address.
+// Values are the marshalled JSONReport bytes, immutable by construction,
+// so hits can be served to concurrent clients without copying. The
+// methods are safe for concurrent use. A nil *Cache never hits and never
+// stores, so a disabled cache needs no call-site branching.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List
+	items     map[CacheKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	val json.RawMessage
+}
+
+// NewCache returns an LRU cache holding at most max entries (max >= 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[CacheKey]*list.Element, max),
+	}
+}
+
+// Get returns the cached report for key and records a hit or miss.
+func (c *Cache) Get(key CacheKey) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a report under key, evicting the least recently used entry
+// when full. Storing an existing key refreshes its recency.
+func (c *Cache) Put(key CacheKey, val json.RawMessage) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	siwa "repro"
+	"repro/internal/waves"
+)
+
+func TestKeyCanonicalization(t *testing.T) {
+	src := "task t is begin null; end;"
+	// Zero-value limits and their explicit defaults must share an entry.
+	a := Key(src, siwa.Options{Enumerate: true})
+	b := Key(src, siwa.Options{Enumerate: true, EnumerateLimit: 4096})
+	if a != b {
+		t.Error("EnumerateLimit 0 and 4096 produced different keys")
+	}
+	c := Key(src, siwa.Options{Exact: true})
+	d := Key(src, siwa.Options{Exact: true, ExactOptions: waves.Options{MaxStates: 1 << 20}})
+	if c != d {
+		t.Error("MaxStates 0 and 1<<20 produced different keys")
+	}
+	// Traces never keys: the service pins it off.
+	e := Key(src, siwa.Options{Exact: true, ExactOptions: waves.Options{Traces: true}})
+	if c != e {
+		t.Error("Traces flag leaked into the content address")
+	}
+	// Everything that changes the report must change the key.
+	distinct := map[CacheKey]string{a: "enum", c: "exact"}
+	for name, opt := range map[string]siwa.Options{
+		"algo":      {Algorithm: siwa.AlgoRefined},
+		"all":       {AllAlgorithms: true},
+		"c4":        {Constraint4: true},
+		"fifo":      {FIFO: true},
+		"enumLimit": {Enumerate: true, EnumerateLimit: 7},
+		"maxStates": {Exact: true, ExactOptions: waves.Options{MaxStates: 99}},
+	} {
+		k := Key(src, opt)
+		if prev, dup := distinct[k]; dup {
+			t.Errorf("options %q and %q collided", name, prev)
+		}
+		distinct[k] = name
+	}
+	if k := Key(src+" ", siwa.Options{}); k == Key(src, siwa.Options{}) {
+		t.Error("source change did not change the key")
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	k1, k2, k3 := Key("a", siwa.Options{}), Key("b", siwa.Options{}), Key("c", siwa.Options{})
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k1, json.RawMessage(`1`))
+	c.Put(k2, json.RawMessage(`2`))
+	if v, ok := c.Get(k1); !ok || string(v) != "1" {
+		t.Fatalf("k1: %q %v", v, ok)
+	}
+	// k1 is now most recent; inserting k3 must evict k2.
+	c.Put(k3, json.RawMessage(`3`))
+	if _, ok := c.Get(k2); ok {
+		t.Error("k2 survived eviction")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Error("k1 was evicted despite being most recently used")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("hit/miss counts: %+v", st)
+	}
+	// Re-putting an existing key refreshes, not grows.
+	c.Put(k1, json.RawMessage(`11`))
+	if c.Len() != 2 {
+		t.Errorf("len=%d after refresh", c.Len())
+	}
+	if v, _ := c.Get(k1); string(v) != "11" {
+		t.Errorf("refresh lost: %q", v)
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	k := Key("x", siwa.Options{})
+	c.Put(k, json.RawMessage(`1`))
+	if _, ok := c.Get(k); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats: %+v", st)
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+}

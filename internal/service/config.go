@@ -1,0 +1,87 @@
+// Package service implements the siwa analysis service: a concurrent HTTP
+// JSON front end over siwa.AnalyzeContext with a content-addressed result
+// cache, a bounded worker pool, per-request deadlines, plain-text metrics,
+// and graceful shutdown. It is the long-running counterpart to the
+// one-shot siwad CLI; cmd/siwad-server wires it to flags and signals.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Config shapes a Server. The zero value is not usable directly; call
+// Default or Normalize to fill unset fields.
+type Config struct {
+	// Addr is the listen address for Server.Run ("host:port").
+	Addr string
+	// Workers bounds the number of analyses executing at once, across all
+	// requests (single and batch). 0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries caps the result cache. 0 means 1024; negative disables
+	// caching entirely (every request is analyzed from scratch).
+	CacheEntries int
+	// MaxBodyBytes caps the request body; larger requests get HTTP 413.
+	// 0 means 4 MiB.
+	MaxBodyBytes int64
+	// MaxBatch caps the number of programs in one batch request. 0 means 256.
+	MaxBatch int
+	// DefaultTimeout applies when a request carries no timeoutMs. 0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines. 0 means 5m.
+	MaxTimeout time.Duration
+	// ShutdownGrace bounds how long Run waits for in-flight requests to
+	// drain after its context is cancelled. 0 means 10s.
+	ShutdownGrace time.Duration
+}
+
+// Default returns the standard service configuration.
+func Default() Config {
+	return Config{Addr: ":8080"}.Normalize()
+}
+
+// Normalize fills unset fields with their defaults and returns the result.
+func (c Config) Normalize() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	return c
+}
+
+// timeoutFor resolves a client-requested timeout in milliseconds against
+// the configured default and clamp.
+func (c Config) timeoutFor(timeoutMs int64) (time.Duration, error) {
+	if timeoutMs < 0 {
+		return 0, fmt.Errorf("timeoutMs must be >= 0, got %d", timeoutMs)
+	}
+	d := c.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > c.MaxTimeout {
+		d = c.MaxTimeout
+	}
+	return d, nil
+}

@@ -1,0 +1,306 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	siwa "repro"
+	"repro/internal/waves"
+)
+
+// WireOptions is the JSON projection of siwa.Options accepted by the
+// analyze endpoints. Field names mirror the library; the algorithm is
+// named by its registry spelling (siwa.AlgorithmNames).
+type WireOptions struct {
+	Algorithm      string `json:"algorithm,omitempty"`
+	AllAlgorithms  bool   `json:"allAlgorithms,omitempty"`
+	Constraint4    bool   `json:"constraint4,omitempty"`
+	Enumerate      bool   `json:"enumerate,omitempty"`
+	EnumerateLimit int    `json:"enumerateLimit,omitempty"`
+	FIFO           bool   `json:"fifo,omitempty"`
+	Exact          bool   `json:"exact,omitempty"`
+	// MaxStates caps the exact explorer's state count (0 = 1<<20).
+	MaxStates int `json:"maxStates,omitempty"`
+}
+
+// resolve maps wire options onto library options. A nil receiver is the
+// all-defaults request.
+func (wo *WireOptions) resolve() (siwa.Options, error) {
+	if wo == nil {
+		return siwa.Options{}, nil
+	}
+	var opt siwa.Options
+	if wo.Algorithm != "" {
+		a, ok := siwa.AlgorithmByName(wo.Algorithm)
+		if !ok {
+			return opt, fmt.Errorf("unknown algorithm %q (valid: %s)",
+				wo.Algorithm, strings.Join(siwa.AlgorithmNames(), ", "))
+		}
+		opt.Algorithm = a
+	}
+	if wo.EnumerateLimit < 0 || wo.MaxStates < 0 {
+		return opt, errors.New("enumerateLimit and maxStates must be >= 0")
+	}
+	opt.AllAlgorithms = wo.AllAlgorithms
+	opt.Constraint4 = wo.Constraint4
+	opt.Enumerate = wo.Enumerate
+	opt.EnumerateLimit = wo.EnumerateLimit
+	opt.FIFO = wo.FIFO
+	opt.Exact = wo.Exact
+	opt.ExactOptions = waves.Options{MaxStates: wo.MaxStates}
+	return opt, nil
+}
+
+// AnalyzeRequest is the POST /v1/analyze body.
+type AnalyzeRequest struct {
+	Source    string       `json:"source"`
+	Options   *WireOptions `json:"options,omitempty"`
+	TimeoutMs int64        `json:"timeoutMs,omitempty"`
+}
+
+// AnalyzeResponse is the POST /v1/analyze success body. Report is a
+// siwa.JSONReport (schemaVersion inside); Cached reports a result served
+// from the content-addressed cache without re-analysis.
+type AnalyzeResponse struct {
+	Report    json.RawMessage `json:"report"`
+	Cached    bool            `json:"cached"`
+	ElapsedMs float64         `json:"elapsedMs"`
+}
+
+// BatchProgram is one program in a batch request. Its options, when
+// present, override the batch-level defaults.
+type BatchProgram struct {
+	ID      string       `json:"id,omitempty"`
+	Source  string       `json:"source"`
+	Options *WireOptions `json:"options,omitempty"`
+}
+
+// BatchRequest is the POST /v1/analyze/batch body. The deadline covers
+// the whole batch; programs are fanned out across the worker pool.
+type BatchRequest struct {
+	Programs  []BatchProgram `json:"programs"`
+	Options   *WireOptions   `json:"options,omitempty"`
+	TimeoutMs int64          `json:"timeoutMs,omitempty"`
+}
+
+// BatchResult is one program's outcome, in request order.
+type BatchResult struct {
+	ID     string          `json:"id,omitempty"`
+	Report json.RawMessage `json:"report,omitempty"`
+	Cached bool            `json:"cached"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/analyze/batch success body.
+type BatchResponse struct {
+	Results   []BatchResult `json:"results"`
+	ElapsedMs float64       `json:"elapsedMs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.metrics.Errors.Add(1)
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes the request body into v under the configured size
+// limit, reporting (status, error) on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("invalid request body: %v", err)
+	}
+	return 0, nil
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// analyzeOne serves one (source, options) pair: cache lookup, then a
+// pool-bounded siwa.AnalyzeContext run whose marshalled report is stored
+// back under the content address. The bool result reports a cache hit.
+func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options) (json.RawMessage, bool, error) {
+	key := Key(source, opt)
+	if rep, ok := s.cache.Get(key); ok {
+		return rep, true, nil
+	}
+	var out json.RawMessage
+	var runErr error
+	err := s.pool.Do(ctx, func() {
+		prog, err := siwa.Parse(source)
+		if err != nil {
+			runErr = err
+			return
+		}
+		rep, err := siwa.AnalyzeContext(ctx, prog, opt)
+		if err != nil {
+			runErr = err
+			return
+		}
+		s.metrics.Analyses.Add(1)
+		if !rep.DeadlockFree() || !rep.Stall.StallFree() {
+			s.metrics.Anomalous.Add(1)
+		}
+		b, err := json.Marshal(rep.JSONReport())
+		if err != nil {
+			runErr = err
+			return
+		}
+		out = b
+		s.cache.Put(key, b)
+	})
+	if err != nil {
+		// Pool admission lost the race against the deadline: the analysis
+		// never started.
+		return nil, false, err
+	}
+	if runErr != nil {
+		return nil, false, runErr
+	}
+	return out, false, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.metrics.RequestsAnalyze.Add(1)
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	start := time.Now()
+	var req AnalyzeRequest
+	if status, err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, status, "%v", err)
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	opt, err := req.Options.resolve()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d, err := s.cfg.timeoutFor(req.TimeoutMs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	rep, cached, err := s.analyzeOne(ctx, req.Source, opt)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, AnalyzeResponse{
+			Report:    rep,
+			Cached:    cached,
+			ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	case isCancellation(err):
+		s.metrics.Timeouts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: fmt.Sprintf("analysis aborted: %v", err)})
+	default:
+		s.writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.RequestsBatch.Add(1)
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	start := time.Now()
+	var req BatchRequest
+	if status, err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, status, "%v", err)
+		return
+	}
+	if len(req.Programs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Programs) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest,
+			"batch of %d exceeds limit %d", len(req.Programs), s.cfg.MaxBatch)
+		return
+	}
+	d, err := s.cfg.timeoutFor(req.TimeoutMs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	results := make([]BatchResult, len(req.Programs))
+	var wg sync.WaitGroup
+	for i, p := range req.Programs {
+		res := &results[i]
+		res.ID = p.ID
+		if p.Source == "" {
+			res.Error = "missing source"
+			continue
+		}
+		wo := p.Options
+		if wo == nil {
+			wo = req.Options
+		}
+		opt, err := wo.resolve()
+		if err != nil {
+			res.Error = err.Error()
+			continue
+		}
+		wg.Add(1)
+		go func(source string, opt siwa.Options, res *BatchResult) {
+			defer wg.Done()
+			rep, cached, err := s.analyzeOne(ctx, source, opt)
+			if err != nil {
+				if isCancellation(err) {
+					s.metrics.Timeouts.Add(1)
+				}
+				res.Error = err.Error()
+				return
+			}
+			res.Report = rep
+			res.Cached = cached
+		}(p.Source, opt, res)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Results:   results,
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w, s.cache, s.pool)
+}

@@ -1,0 +1,46 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics holds the service counters, exported by GET /metrics in the
+// Prometheus text exposition format (hand-rolled; the module stays
+// dependency-free). All fields are updated atomically.
+type Metrics struct {
+	RequestsAnalyze atomic.Uint64 // POST /v1/analyze requests
+	RequestsBatch   atomic.Uint64 // POST /v1/analyze/batch requests
+	Analyses        atomic.Uint64 // analyses actually executed (cache misses that ran)
+	Anomalous       atomic.Uint64 // completed analyses that found an anomaly
+	Timeouts        atomic.Uint64 // analyses aborted by deadline or disconnect
+	Errors          atomic.Uint64 // requests rejected (parse, validation, body size)
+	InFlight        atomic.Int64  // requests currently being served
+}
+
+// WriteTo renders every counter, plus the cache and pool gauges, in
+// Prometheus text format.
+func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool) {
+	cs := cache.Stats()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP siwa_requests_total requests received\n# TYPE siwa_requests_total counter\n")
+	fmt.Fprintf(w, "siwa_requests_total{endpoint=%q} %d\n", "analyze", m.RequestsAnalyze.Load())
+	fmt.Fprintf(w, "siwa_requests_total{endpoint=%q} %d\n", "batch", m.RequestsBatch.Load())
+	counter("siwa_analyses_total", "analyses executed (cache misses)", m.Analyses.Load())
+	counter("siwa_anomalous_total", "analyses that reported a possible deadlock or stall", m.Anomalous.Load())
+	counter("siwa_timeouts_total", "analyses aborted by deadline or client disconnect", m.Timeouts.Load())
+	counter("siwa_request_errors_total", "requests rejected before analysis", m.Errors.Load())
+	counter("siwa_cache_hits_total", "result cache hits", cs.Hits)
+	counter("siwa_cache_misses_total", "result cache misses", cs.Misses)
+	counter("siwa_cache_evictions_total", "result cache LRU evictions", cs.Evictions)
+	gauge("siwa_cache_entries", "result cache current entries", int64(cs.Entries))
+	gauge("siwa_inflight_requests", "requests currently being served", m.InFlight.Load())
+	gauge("siwa_workers", "worker pool concurrency bound", int64(pool.Size()))
+	gauge("siwa_workers_busy", "worker pool slots in use", int64(pool.InFlight()))
+}

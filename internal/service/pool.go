@@ -1,0 +1,45 @@
+package service
+
+import "context"
+
+// Pool bounds the number of analyses running at once. Admission is
+// semaphore-based: Do blocks until a slot frees or the caller's context
+// expires, so a burst of requests queues instead of oversubscribing the
+// CPU, and a queued request that hits its deadline leaves without ever
+// starting work.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool running at most n tasks concurrently (n >= 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Size reports the concurrency bound.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// InFlight reports how many tasks hold a slot right now.
+func (p *Pool) InFlight() int { return len(p.sem) }
+
+// Do runs fn on the caller's goroutine once a slot is free. It returns
+// ctx.Err() without running fn when the context expires first; fn itself
+// is responsible for observing ctx (siwa.AnalyzeContext does).
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	// Prefer the context when both are ready, so an already-expired
+	// deadline never sneaks past a momentarily free slot.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
+}

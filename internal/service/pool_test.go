@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(context.Background(), func() {
+				n := running.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				running.Add(-1)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool size 3", got)
+	}
+}
+
+func TestPoolQueuedRequestHonorsDeadline(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() {
+		close(started)
+		<-release
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	ran := false
+	err := p.Do(ctx, func() { ran = true })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite expired deadline")
+	}
+	close(release)
+}
+
+func TestPoolExpiredContextNeverRuns(t *testing.T) {
+	p := NewPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Do(ctx, func() { t.Fatal("ran") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v", err)
+	}
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the analysis service: HTTP handlers over a shared result
+// cache, worker pool, and metrics. Construct with New; serve with Run (or
+// mount Handler in a larger mux). All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	cache   *Cache // nil when caching is disabled
+	pool    *Pool
+	metrics *Metrics
+	handler http.Handler
+}
+
+// New builds a Server from cfg (normalized first).
+func New(cfg Config) *Server {
+	cfg = cfg.Normalize()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers),
+		metrics: &Metrics{},
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = NewCache(cfg.CacheEntries)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.handler = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler, for mounting or httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics exposes the live counters (shared, not a snapshot).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// CacheStats snapshots the result-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Run listens on the configured address and serves until ctx is
+// cancelled, then shuts down gracefully: the listener closes, in-flight
+// requests drain for up to ShutdownGrace, and Run returns nil on a clean
+// drain (or the shutdown error if the grace period expired).
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run on a caller-provided listener (tests use a :0 listener to
+// learn the port). It owns ln and closes it on return.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}

@@ -42,6 +42,11 @@ type Options struct {
 	// rendezvous leading from the initial wave to the anomalous one
 	// (costs one parent pointer per explored state).
 	Traces bool
+	// Cancel, when non-nil, is polled periodically during exploration;
+	// returning true stops the search early with Result.Cancelled (and
+	// Truncated) set. Callers with a context typically pass
+	// func() bool { return ctx.Err() != nil }.
+	Cancel func() bool
 }
 
 // Rendezvous is one fired synchronization: the two node ids that met.
@@ -83,6 +88,9 @@ type Result struct {
 	// Truncated reports that MaxStates was hit; absence of anomalies is
 	// then inconclusive.
 	Truncated bool
+	// Cancelled reports that Options.Cancel stopped the search early;
+	// Truncated is also set, since the results are partial.
+	Cancelled bool
 }
 
 // HasAnomaly reports whether any infinite-wait anomaly was found.
@@ -226,7 +234,14 @@ func (e *explorer) run() {
 	}
 	gen(0)
 
-	for len(e.queue) > 0 {
+	for steps := 0; len(e.queue) > 0; steps++ {
+		// Poll for cancellation every few waves so a context deadline
+		// interrupts even exponential state spaces promptly.
+		if e.opt.Cancel != nil && steps&0xFF == 0 && e.opt.Cancel() {
+			e.res.Cancelled = true
+			e.res.Truncated = true
+			return
+		}
 		w := e.queue[0]
 		e.queue = e.queue[1:]
 		e.step(w)

@@ -4,9 +4,15 @@ import (
 	"encoding/json"
 )
 
+// SchemaVersion is the version of the JSONReport wire format, carried in
+// every report's schemaVersion field so the service and CLI outputs are
+// versioned from day one. Bump it on any breaking change to JSONReport.
+const SchemaVersion = 1
+
 // JSONReport is the stable machine-readable projection of a Report,
-// emitted by Report.JSON and by siwad -json.
+// emitted by Report.JSON, siwad -json, and the analysis service.
 type JSONReport struct {
+	SchemaVersion   int  `json:"schemaVersion"`
 	Tasks           int  `json:"tasks"`
 	RendezvousNodes int  `json:"rendezvousNodes"`
 	SyncEdges       int  `json:"syncEdges"`
@@ -82,9 +88,10 @@ func (r *Report) jsonVerdict(v Verdict) JSONVerdict {
 	return out
 }
 
-// JSON renders the report as indented JSON.
-func (r *Report) JSON() ([]byte, error) {
+// JSONReport builds the machine-readable projection of the report.
+func (r *Report) JSONReport() JSONReport {
 	out := JSONReport{
+		SchemaVersion:   SchemaVersion,
 		Tasks:           len(r.Graph.Tasks),
 		RendezvousNodes: r.Graph.N() - 2,
 		SyncEdges:       r.Graph.NumSyncEdges(),
@@ -131,5 +138,10 @@ func (r *Report) JSON() ([]byte, error) {
 			Truncated:      r.Exact.Truncated,
 		}
 	}
-	return json.MarshalIndent(out, "", "  ")
+	return out
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.JSONReport(), "", "  ")
 }

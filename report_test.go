@@ -32,6 +32,9 @@ end;
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatalf("not valid JSON: %v\n%s", err, data)
 	}
+	if out.SchemaVersion != SchemaVersion {
+		t.Fatalf("schemaVersion=%d, want %d", out.SchemaVersion, SchemaVersion)
+	}
 	if out.Tasks != 2 || out.RendezvousNodes != 4 || out.SyncEdges != 2 {
 		t.Fatalf("stats wrong: %+v", out)
 	}
@@ -88,5 +91,76 @@ end;
 	s := out.StallSignals[0]
 	if s.Task != "t2" || s.Msg != "done" || !s.Constant || s.Delta != -1 {
 		t.Fatalf("signal: %+v", s)
+	}
+}
+
+// TestJSONReportRoundTrip exercises every optional section at once — the
+// spectrum, constraint 4, enumeration, exact, and stall signals — and
+// checks the encoding survives a decode/re-encode round trip unchanged.
+func TestJSONReportRoundTrip(t *testing.T) {
+	// t1/t2 form a deadlocking ring; t3's unaccepted entry call leaves an
+	// unbalanced signal, so the stall section is populated too.
+	p := MustParse(`
+task t1 is
+begin
+  accept sig1;
+  t2.sig2;
+end;
+task t2 is
+begin
+  accept sig2;
+  t1.sig1;
+end;
+task t3 is
+begin
+  t1.extra;
+end;
+`)
+	rep, err := Analyze(p, Options{
+		AllAlgorithms: true, Constraint4: true, Enumerate: true, Exact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out JSONReport
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode: %v\n%s", err, data)
+	}
+	if out.SchemaVersion != SchemaVersion {
+		t.Fatalf("schemaVersion=%d", out.SchemaVersion)
+	}
+	if len(out.Spectrum) != 5 {
+		t.Fatalf("spectrum=%d", len(out.Spectrum))
+	}
+	if out.Constraint4 == nil || out.Enumeration == nil || out.Exact == nil {
+		t.Fatalf("missing optional section: c4=%v enum=%v exact=%v",
+			out.Constraint4, out.Enumeration, out.Exact)
+	}
+	if out.StallFree || len(out.StallSignals) == 0 {
+		t.Fatalf("stall section empty: stallFree=%v signals=%v", out.StallFree, out.StallSignals)
+	}
+	if len(out.Deadlock.Witnesses) == 0 {
+		t.Fatal("no witnesses")
+	}
+	// Re-encoding the decoded struct must reproduce the bytes exactly:
+	// the wire format contains nothing the struct cannot represent.
+	again, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("round trip drifted:\n%s\n---\n%s", data, again)
+	}
+	// The structured projection matches the marshalled form.
+	direct, err := json.MarshalIndent(rep.JSONReport(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(direct) != string(data) {
+		t.Fatal("JSONReport() and JSON() disagree")
 	}
 }

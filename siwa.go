@@ -24,6 +24,7 @@
 package siwa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -150,6 +151,22 @@ type Report struct {
 // build the sync graph and CLG, run the selected deadlock detector and the
 // stall balance analysis, and optionally the exact explorer.
 func Analyze(p *Program, opt Options) (*Report, error) {
+	return AnalyzeContext(context.Background(), p, opt)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: the context is
+// checked between pipeline stages (unroll, sync graph, each detector,
+// stall, exact) and polled inside the exact wave exploration, so a
+// deadline or cancel interrupts even an exponential Exact or Enumerate
+// request promptly. The returned error wraps ctx.Err(), so callers can
+// test it with errors.Is(err, context.DeadlineExceeded).
+func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, error) {
+	stage := func(name string) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("analyze: cancelled before %s: %w", name, err)
+		}
+		return nil
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -159,8 +176,14 @@ func Analyze(p *Program, opt Options) (*Report, error) {
 		inlined = p.InlineCalls()
 		rep.Unrolled = inlined
 	}
+	if err := stage("unroll"); err != nil {
+		return nil, err
+	}
 	if cfg.HasLoops(inlined) {
 		rep.Unrolled = cfg.Unroll(inlined)
+	}
+	if err := stage("sync graph"); err != nil {
+		return nil, err
 	}
 	g, err := sg.FromProgram(rep.Unrolled)
 	if err != nil {
@@ -175,6 +198,9 @@ func Analyze(p *Program, opt Options) (*Report, error) {
 		info := order.Compute(g)
 		rep.FIFORemoved = g.RemoveSyncEdges(info.InfeasibleSyncPairs())
 	}
+	if err := stage("deadlock detection"); err != nil {
+		return nil, err
+	}
 	rep.Analyzer = core.NewAnalyzer(g)
 	rep.Deadlock = rep.Analyzer.Run(opt.Algorithm)
 	if opt.AllAlgorithms {
@@ -182,24 +208,46 @@ func Analyze(p *Program, opt Options) (*Report, error) {
 			AlgoNaive, AlgoRefined, AlgoRefinedPairs,
 			AlgoRefinedHeadTail, AlgoRefinedHeadTailPairs,
 		} {
+			if err := stage("spectrum " + a.String()); err != nil {
+				return nil, err
+			}
 			rep.Spectrum = append(rep.Spectrum, rep.Analyzer.Run(a))
 		}
 	}
 	if opt.Constraint4 && rep.Deadlock.MayDeadlock {
+		if err := stage("constraint 4"); err != nil {
+			return nil, err
+		}
 		rep.Constraint4Free, rep.Constraint4Conclusive = rep.Analyzer.Constraint4Certify(0)
 	}
 	if opt.Enumerate {
+		if err := stage("enumeration"); err != nil {
+			return nil, err
+		}
 		ev := rep.Analyzer.Enumerate(opt.EnumerateLimit)
 		rep.Enumerated = &ev
 	}
+	if err := stage("stall balance"); err != nil {
+		return nil, err
+	}
 	rep.Stall = stall.CheckAllLinearizations(inlined)
 	if opt.Exact {
+		if err := stage("exact waves"); err != nil {
+			return nil, err
+		}
 		eg, err := waves.ExploreProgramGraph(p)
 		if err != nil {
 			return nil, err
 		}
 		rep.ExactGraph = eg
-		rep.Exact = waves.Explore(eg, opt.ExactOptions)
+		eo := opt.ExactOptions
+		if eo.Cancel == nil && ctx.Done() != nil {
+			eo.Cancel = func() bool { return ctx.Err() != nil }
+		}
+		rep.Exact = waves.Explore(eg, eo)
+		if rep.Exact.Cancelled {
+			return nil, fmt.Errorf("analyze: cancelled during exact waves: %w", ctx.Err())
+		}
 	}
 	return rep, nil
 }

@@ -1,8 +1,12 @@
 package siwa
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestAnalyzeHandshake(t *testing.T) {
@@ -327,4 +331,69 @@ end;
 			t.Fatalf("labels=%v", labels)
 		}
 	}
+}
+
+func TestAnalyzeContextCancelled(t *testing.T) {
+	p := MustParse(`
+task t1 is
+begin
+  t2.sig1;
+  accept sig2;
+end;
+task t2 is
+begin
+  accept sig1;
+  t1.sig2;
+end;
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeContext(ctx, p, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	// Background context behaves exactly like Analyze.
+	rep, err := AnalyzeContext(context.Background(), p, Options{Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlock.MayDeadlock || rep.Exact == nil {
+		t.Fatalf("rep: %+v", rep.Deadlock)
+	}
+}
+
+// TestAnalyzeContextDeadlineInterruptsExact checks the promptness claim:
+// an already-expired deadline aborts an Exact exploration whose wave space
+// is exponential, wrapping context.DeadlineExceeded.
+func TestAnalyzeContextDeadlineInterruptsExact(t *testing.T) {
+	p := MustParse(forkFanSource(7, 5))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := AnalyzeContext(ctx, p, Options{Exact: true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// forkFanSource mirrors workload.ForkFan without importing it (the
+// workload package is internal test tooling; this keeps the root package's
+// tests self-contained).
+func forkFanSource(n, depth int) string {
+	var b strings.Builder
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&b, "task a%d is\nbegin\n", k)
+		for d := 0; d < depth; d++ {
+			fmt.Fprintf(&b, "  b%d.m;\n", k)
+		}
+		b.WriteString("end;\n")
+		fmt.Fprintf(&b, "task b%d is\nbegin\n", k)
+		for d := 0; d < depth; d++ {
+			b.WriteString("  accept m;\n")
+		}
+		b.WriteString("end;\n")
+	}
+	return b.String()
 }
