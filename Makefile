@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench fuzz experiments examples server clean
+.PHONY: all build test race vet fmt bench bench-json fuzz experiments examples server clean
 
 all: build vet test
 
@@ -28,6 +28,12 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Machine-readable benchmark record: the whole suite as go test -json
+# events in BENCH_<date>.json. BENCHTIME=1x gives a fast smoke run.
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... > BENCH_$$(date +%Y%m%d).json
 
 # Short fuzzing pass over the parser and inliner.
 fuzz:

@@ -1,19 +1,45 @@
 package siwa
 
-import "sort"
-
-// algorithmsByName is the canonical name registry for the detector
-// spectrum, shared by the siwad CLI and the analysis service so their
-// accepted spellings and error messages cannot drift apart.
-var algorithmsByName = map[string]Algorithm{
-	"naive":     AlgoNaive,
-	"refined":   AlgoRefined,
-	"pairs":     AlgoRefinedPairs,
-	"head-tail": AlgoRefinedHeadTail,
-	"ht-pairs":  AlgoRefinedHeadTailPairs,
-	"k-pairs":   AlgoRefinedKPairs,
-	"enumerate": AlgoEnumerate,
+// AlgorithmInfo describes one detector of the spectrum: its registry
+// spelling (accepted by the siwad -algo flag and the service's wire
+// options), the Algorithm constant, and a one-line description. The
+// GET /v1/algorithms endpoint serves this so clients can discover the
+// precision/cost spectrum without hardcoding it.
+type AlgorithmInfo struct {
+	Name        string
+	Algorithm   Algorithm
+	Description string
 }
+
+// algorithmRegistry is the canonical detector registry, in increasing
+// precision and cost. The CLI flag, the service's accepted spellings, the
+// unknown-algorithm errors, and the discovery endpoint all derive from it
+// so they cannot drift apart.
+var algorithmRegistry = []AlgorithmInfo{
+	{"naive", AlgoNaive,
+		"CLG cycle detection only (constraint 1): cheapest rung, most false alarms"},
+	{"refined", AlgoRefined,
+		"single-head hypotheses with SEQUENCEABLE/COACCEPT/NOT-COEXEC marking (the paper's main algorithm)"},
+	{"pairs", AlgoRefinedPairs,
+		"hypothesizes pairs of head nodes in distinct tasks"},
+	{"head-tail", AlgoRefinedHeadTail,
+		"hypothesizes head-tail node pairs within one task"},
+	{"ht-pairs", AlgoRefinedHeadTailPairs,
+		"hypothesizes two head-tail pairs (k = 2), the paper's strongest polynomial rung"},
+	{"k-pairs", AlgoRefinedKPairs,
+		"k = 3 head-tail pairs plus an exhaustive budgeted small-cycle phase"},
+	{"enumerate", AlgoEnumerate,
+		"budgeted simple-cycle enumeration enforcing constraint 1c exactly: most precise, worst-case exponential"},
+}
+
+// algorithmsByName indexes the registry by spelling.
+var algorithmsByName = func() map[string]Algorithm {
+	m := make(map[string]Algorithm, len(algorithmRegistry))
+	for _, info := range algorithmRegistry {
+		m[info.Name] = info.Algorithm
+	}
+	return m
+}()
 
 // Algorithms returns a copy of the canonical name -> Algorithm registry.
 func Algorithms() map[string]Algorithm {
@@ -24,18 +50,23 @@ func Algorithms() map[string]Algorithm {
 	return out
 }
 
+// AlgorithmList returns the registry entries in spectrum order
+// (increasing precision and cost), as a copy.
+func AlgorithmList() []AlgorithmInfo {
+	return append([]AlgorithmInfo(nil), algorithmRegistry...)
+}
+
 // AlgorithmByName resolves a registry name ("refined", "ht-pairs", ...).
 func AlgorithmByName(name string) (Algorithm, bool) {
 	a, ok := algorithmsByName[name]
 	return a, ok
 }
 
-// AlgorithmNames returns every registry name, sorted.
+// AlgorithmNames returns every registry name, in spectrum order.
 func AlgorithmNames() []string {
-	names := make([]string, 0, len(algorithmsByName))
-	for n := range algorithmsByName {
-		names = append(names, n)
+	names := make([]string, 0, len(algorithmRegistry))
+	for _, info := range algorithmRegistry {
+		names = append(names, info.Name)
 	}
-	sort.Strings(names)
 	return names
 }

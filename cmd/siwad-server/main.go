@@ -6,8 +6,10 @@
 //
 //	POST /v1/analyze        one MiniAda program + options -> JSONReport
 //	POST /v1/analyze/batch  many programs, fanned out across the pool
+//	GET  /v1/algorithms     the detector spectrum with descriptions
 //	GET  /healthz           liveness probe
-//	GET  /metrics           counters, Prometheus text format
+//	GET  /metrics           counters + latency histograms, Prometheus text
+//	GET  /debug/pprof/...   runtime profiles (only with -pprof)
 //
 // Flags:
 //
@@ -18,6 +20,10 @@
 //	-max-batch N      programs per batch request (default 256)
 //	-timeout D        default per-request analysis deadline (default 30s)
 //	-max-timeout D    upper clamp on client-requested deadlines (default 5m)
+//	-log MODE         request logging: text, json, or off (default text)
+//	-trace            trace every analysis, feeding the per-stage latency
+//	                  histograms (requests can still opt in per-call)
+//	-pprof            mount net/http/pprof under /debug/pprof/
 //
 // The server drains in-flight requests on SIGINT/SIGTERM and exits 0 on a
 // clean shutdown.
@@ -27,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,7 +57,21 @@ func run(args []string) int {
 	timeout := fs.Duration("timeout", 0, "default analysis deadline (0 = 30s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "deadline clamp (0 = 5m)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget")
+	logMode := fs.String("log", "text", "request logging: text, json, or off")
+	trace := fs.Bool("trace", false, "trace every analysis into the per-stage latency histograms")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var logger *slog.Logger
+	switch *logMode {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "siwad-server: unknown -log mode %q (valid: text, json, off)\n", *logMode)
 		return 2
 	}
 	srv := service.New(service.Config{
@@ -62,6 +83,9 @@ func run(args []string) int {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		ShutdownGrace:  *grace,
+		Logger:         logger,
+		EnablePprof:    *enablePprof,
+		TraceAll:       *trace,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

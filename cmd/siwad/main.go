@@ -9,18 +9,21 @@
 //
 // Flags:
 //
-//	-algo NAME    detector: naive, refined, pairs, head-tail, ht-pairs,
-//	              k-pairs, enumerate (default refined)
-//	-all          run the whole detector spectrum
-//	-c4           also try the constraint-4 (outside breaker) certifier
-//	-enum         also run the cycle-enumeration detector (exact 1c)
-//	-fifo         apply the FIFO sync-edge refinement first (loop-free)
-//	-exact        also run the exact wave explorer (exponential)
-//	-trace        print rendezvous traces to each anomaly (implies -exact)
-//	-json         machine-readable output
-//	-max-states N state cap for -exact and -dot waves (default 1<<20)
-//	-dot KIND     print a Graphviz graph instead of analyzing:
-//	              sync | clg | waves (the Taylor concurrency state graph)
+//	-algo NAME      detector: naive, refined, pairs, head-tail, ht-pairs,
+//	                k-pairs, enumerate (default refined)
+//	-all            run the whole detector spectrum
+//	-c4             also try the constraint-4 (outside breaker) certifier
+//	-enum           also run the cycle-enumeration detector (exact 1c)
+//	-fifo           apply the FIFO sync-edge refinement first (loop-free)
+//	-exact          also run the exact wave explorer (exponential)
+//	-trace          print the pipeline span tree: per-stage durations and
+//	                work counters (hypotheses, SCC runs, pruned nodes, ...)
+//	-anomaly-trace  print rendezvous traces to each anomaly (implies -exact)
+//	-json           machine-readable output (includes the span tree under
+//	                "trace" when -trace is set)
+//	-max-states N   state cap for -exact and -dot waves (default 1<<20)
+//	-dot KIND       print a Graphviz graph instead of analyzing:
+//	                sync | clg | waves (the Taylor concurrency state graph)
 //
 // Exit status: 0 when every input is certified deadlock-free, 1 when any
 // input may deadlock or stall, 2 on usage or parse errors.
@@ -55,7 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	enum := fs.Bool("enum", false, "also run the cycle-enumeration detector (exact constraint 1c)")
 	fifo := fs.Bool("fifo", false, "apply the FIFO sync-edge refinement (loop-free programs)")
 	exact := fs.Bool("exact", false, "also run the exact wave explorer")
-	trace := fs.Bool("trace", false, "with the exact explorer, print rendezvous traces to each anomaly (implies -exact)")
+	trace := fs.Bool("trace", false, "print the pipeline span tree (per-stage durations and work counters)")
+	anomalyTrace := fs.Bool("anomaly-trace", false, "with the exact explorer, print rendezvous traces to each anomaly (implies -exact)")
 	maxStates := fs.Int("max-states", 1<<20, "state cap for -exact")
 	dot := fs.String("dot", "", "emit a Graphviz graph (sync|clg|waves) instead of analyzing")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the text report")
@@ -92,8 +96,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Constraint4:   *c4,
 			Enumerate:     *enum,
 			FIFO:          *fifo,
-			Exact:         *exact || *trace,
-			ExactOptions:  waves.Options{MaxStates: *maxStates, Traces: *trace},
+			Exact:         *exact || *anomalyTrace,
+			ExactOptions:  waves.Options{MaxStates: *maxStates, Traces: *anomalyTrace},
+			Trace:         *trace,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "siwad: %s: %v\n", path, err)
@@ -135,14 +140,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		fmt.Fprintf(stdout, "== %s ==\n%s", path, rep.Summary())
-		if *trace && rep.Exact != nil {
+		if *anomalyTrace && rep.Exact != nil {
 			for i, a := range rep.Exact.Anomalies {
 				kind := "stall"
 				if len(a.DeadlockSet) > 0 {
 					kind = "deadlock"
 				}
-				fmt.Fprintf(stdout, "  anomaly %d (%s) trace: %s\n", i+1, kind, rep.TraceString(a))
+				fmt.Fprintf(stdout, "  anomaly %d (%s) trace: %s\n", i+1, kind, rep.AnomalyTraceString(a))
 			}
+		}
+		if *trace {
+			fmt.Fprintf(stdout, "-- pipeline trace --\n%s", rep.TraceString())
 		}
 		if !rep.DeadlockFree() || !rep.Stall.StallFree() {
 			anomalous = true

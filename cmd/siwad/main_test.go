@@ -157,17 +157,73 @@ func TestProceduresFile(t *testing.T) {
 	}
 }
 
-func TestTraceFlag(t *testing.T) {
-	code, out, _ := runCLI(t, "-trace", "../../testdata/stall.ada")
+func TestAnomalyTraceFlag(t *testing.T) {
+	code, out, _ := runCLI(t, "-anomaly-trace", "../../testdata/stall.ada")
 	if code != 1 {
 		t.Fatalf("exit=%d", code)
 	}
 	if !strings.Contains(out, "anomaly 1 (stall) trace:") {
 		t.Fatalf("trace missing:\n%s", out)
 	}
-	// -trace implies -exact.
+	// -anomaly-trace implies -exact.
 	if !strings.Contains(out, "exact waves") {
 		t.Fatalf("exact summary missing:\n%s", out)
+	}
+}
+
+func TestPipelineTraceFlag(t *testing.T) {
+	// -trace prints the span tree and must name every pipeline stage that
+	// ran: a plain refined run passes through sync-graph, clg, the
+	// detector, and the stall balance analysis.
+	code, out, _ := runCLI(t, "-trace", "../../testdata/stall.ada")
+	if code != 1 {
+		t.Fatalf("exit=%d\n%s", code, out)
+	}
+	for _, stage := range []string{
+		"-- pipeline trace --", "analyze",
+		"sync-graph", "clg", "detect:refined", "stall",
+	} {
+		if !strings.Contains(out, stage) {
+			t.Fatalf("stage %q missing from -trace output:\n%s", stage, out)
+		}
+	}
+	// Work counters from the detector must be present and nonzero.
+	if !strings.Contains(out, "hypotheses=") || !strings.Contains(out, "scc_runs=") {
+		t.Fatalf("detector counters missing:\n%s", out)
+	}
+	if strings.Contains(out, "hypotheses=0") {
+		t.Fatalf("hypotheses counter is zero:\n%s", out)
+	}
+
+	// Optional stages appear when their flags are set.
+	_, out, _ = runCLI(t, "-trace", "-all", "-enum", "-exact",
+		"../../testdata/handshake.ada")
+	for _, stage := range []string{"spectrum:naive", "enumerate", "exact-waves"} {
+		if !strings.Contains(out, stage) {
+			t.Fatalf("stage %q missing from -trace -all output:\n%s", stage, out)
+		}
+	}
+	// constraint4 only runs when the primary detector says may-deadlock.
+	_, out, _ = runCLI(t, "-trace", "-c4", "../../testdata/figure3.ada")
+	if !strings.Contains(out, "constraint4") {
+		t.Fatalf("stage constraint4 missing:\n%s", out)
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	code, out, _ := runCLI(t, "-json", "-trace", "../../testdata/handshake.ada")
+	if code != 0 {
+		t.Fatalf("exit=%d\n%s", code, out)
+	}
+	for _, want := range []string{`"trace"`, `"name": "analyze"`, `"durationMs"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in json:\n%s", want, out)
+		}
+	}
+	// Without -trace the field is omitted entirely.
+	_, out, _ = runCLI(t, "-json", "../../testdata/handshake.ada")
+	if strings.Contains(out, `"trace"`) {
+		t.Fatalf("untraced json should omit trace:\n%s", out)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sg"
 )
 
@@ -95,6 +96,20 @@ func Build(s *sg.Graph) *CLG {
 				c.addSync(c.Out[v], c.In[u])
 			}
 		}
+	}
+	return c
+}
+
+// BuildTraced is Build recording the constructed graph's size — CLG
+// nodes, total edges, and sync-derived edges — into span (nil records
+// nothing). The pipeline uses it so the CLG stage span carries the inputs
+// each masked SCC run operates on.
+func BuildTraced(s *sg.Graph, span *obs.Span) *CLG {
+	c := Build(s)
+	if span != nil {
+		span.Add("clg_nodes", int64(c.G.N()))
+		span.Add("clg_edges", int64(c.G.M()))
+		span.Add("clg_sync_edges", int64(len(c.syncEdges)))
 	}
 	return c
 }

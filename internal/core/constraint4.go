@@ -222,13 +222,23 @@ func (a *Analyzer) unconditionalFirst(w int) bool {
 // its cap, in which case no certification is made.
 func (a *Analyzer) Constraint4Certify(limit int) (deadlockFree, conclusive bool) {
 	cycles, complete := a.EnumerateCycles(limit)
+	if t := a.Trace; t != nil {
+		t.Add("cycles_enumerated", int64(len(cycles)))
+	}
 	if !complete {
 		return false, false
 	}
+	broken := 0
+	defer func() {
+		if t := a.Trace; t != nil {
+			t.Add("cycles_broken_by_outsider", int64(broken))
+		}
+	}()
 	for _, ci := range cycles {
 		if _, ok := a.BreakableByOutsider(ci); !ok {
 			return false, true
 		}
+		broken++
 	}
 	return true, true
 }

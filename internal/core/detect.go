@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/clg"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/sg"
 )
@@ -86,6 +87,12 @@ type Analyzer struct {
 	CLG *clg.CLG
 	Ord *order.Info
 
+	// Trace, when non-nil, receives the detector's work counters
+	// (hypotheses tested, SCC runs, nodes pruned by each marking rule).
+	// The facade points it at the active pipeline-stage span before each
+	// detector run; a nil Trace records nothing and costs one branch.
+	Trace *obs.Span
+
 	scratch struct {
 		epoch       int
 		blocked     []int // DO-NOT-ENTER, valid when == epoch
@@ -112,7 +119,13 @@ type sccFrame struct {
 // be loop-free for the refined detectors to gain any precision; with
 // control cycles they degrade (safely) toward the naive answer.
 func NewAnalyzer(g *sg.Graph) *Analyzer {
-	return &Analyzer{SG: g, CLG: clg.Build(g), Ord: order.Compute(g)}
+	return NewAnalyzerTraced(g, nil)
+}
+
+// NewAnalyzerTraced is NewAnalyzer recording the derived structures' sizes
+// (CLG nodes/edges) into span (nil span records nothing).
+func NewAnalyzerTraced(g *sg.Graph, span *obs.Span) *Analyzer {
+	return &Analyzer{SG: g, CLG: clg.BuildTraced(g, span), Ord: order.Compute(g)}
 }
 
 // PossibleHeads returns the paper's POSS-HEADS set: rendezvous nodes with
@@ -184,16 +197,24 @@ func (a *Analyzer) newMask() *mask {
 //     the nodes are removed outright.
 func (a *Analyzer) markHead(m *mask, h int) {
 	c := a.CLG
-	for _, k := range a.Ord.SequenceableSet(h) {
+	seq := a.Ord.SequenceableSet(h)
+	for _, k := range seq {
 		m.blockSyncInto(c.In[k])
 	}
-	for _, k := range a.Ord.CoAccept[h] {
+	coacc := a.Ord.CoAccept[h]
+	for _, k := range coacc {
 		m.blockSyncInto(c.In[k])
 		m.blockSyncOutOf(c.Out[k])
 	}
-	for _, k := range a.Ord.NotCoexecSet(h) {
+	ncx := a.Ord.NotCoexecSet(h)
+	for _, k := range ncx {
 		m.block(c.In[k])
 		m.block(c.Out[k])
+	}
+	if t := a.Trace; t != nil {
+		t.Add("pruned_sequenceable", int64(len(seq)))
+		t.Add("pruned_coaccept", int64(len(coacc)))
+		t.Add("pruned_notcoexec", int64(len(ncx)))
 	}
 }
 
@@ -202,16 +223,23 @@ func (a *Analyzer) markHead(m *mask, h int) {
 // status; COACCEPT needs no marking because the tail is fixed.
 func (a *Analyzer) markHeadTail(m *mask, h, t int) {
 	c := a.CLG
-	for _, k := range a.Ord.SequenceableSet(h) {
+	seq := a.Ord.SequenceableSet(h)
+	for _, k := range seq {
 		m.blockSyncInto(c.In[k])
 	}
-	for _, k := range a.Ord.NotCoexecSet(h) {
+	ncxH := a.Ord.NotCoexecSet(h)
+	for _, k := range ncxH {
 		m.block(c.In[k])
 		m.block(c.Out[k])
 	}
-	for _, k := range a.Ord.NotCoexecSet(t) {
+	ncxT := a.Ord.NotCoexecSet(t)
+	for _, k := range ncxT {
 		m.block(c.In[k])
 		m.block(c.Out[k])
+	}
+	if tr := a.Trace; tr != nil {
+		tr.Add("pruned_sequenceable", int64(len(seq)))
+		tr.Add("pruned_notcoexec", int64(len(ncxH)+len(ncxT)))
 	}
 }
 
@@ -488,23 +516,37 @@ func (a *Analyzer) RefinedHeadTailPairs() Verdict {
 // default budgets; AlgoEnumerate runs with the default cycle budget (its
 // inconclusive outcome maps to a conservative may-deadlock verdict).
 func (a *Analyzer) Run(algo Algorithm) Verdict {
+	var v Verdict
 	switch algo {
 	case AlgoNaive:
-		return a.Naive()
+		v = a.Naive()
 	case AlgoRefined:
-		return a.Refined()
+		v = a.Refined()
 	case AlgoRefinedPairs:
-		return a.RefinedPairs()
+		v = a.RefinedPairs()
 	case AlgoRefinedHeadTail:
-		return a.RefinedHeadTail()
+		v = a.RefinedHeadTail()
 	case AlgoRefinedHeadTailPairs:
-		return a.RefinedHeadTailPairs()
+		v = a.RefinedHeadTailPairs()
 	case AlgoRefinedKPairs:
-		return a.RefinedKPairs(3, KPairsBudget{})
+		v = a.RefinedKPairs(3, KPairsBudget{})
 	case AlgoEnumerate:
-		return a.Enumerate(0).Verdict
+		v = a.Enumerate(0).Verdict
+	default:
+		v = a.Refined()
 	}
-	return a.Refined()
+	a.recordVerdict(v)
+	return v
+}
+
+// recordVerdict copies a verdict's work counts into the active trace span,
+// so stage spans expose the same numbers the Verdict always carried.
+func (a *Analyzer) recordVerdict(v Verdict) {
+	if t := a.Trace; t != nil {
+		t.Add("hypotheses", int64(v.Hypotheses))
+		t.Add("scc_runs", int64(v.SCCRuns))
+		t.Add("witnesses", int64(len(v.Witnesses)))
+	}
 }
 
 func contains(s []int, v int) bool {

@@ -44,6 +44,10 @@ func (a *Analyzer) Enumerate(limit int) EnumerationVerdict {
 	v.CyclesSeen = len(cycles)
 	if !complete {
 		v.MayDeadlock = true
+		if t := a.Trace; t != nil {
+			t.Add("cycles_seen", int64(v.CyclesSeen))
+			t.Add("budget_exceeded", 1)
+		}
 		return v
 	}
 	for _, ci := range cycles {
@@ -54,6 +58,10 @@ func (a *Analyzer) Enumerate(limit int) EnumerationVerdict {
 		v.CyclesPlausible++
 		v.MayDeadlock = true
 		v.Witnesses = appendWitness(v.Witnesses, graph.Sorted(ci.Nodes))
+	}
+	if t := a.Trace; t != nil {
+		t.Add("cycles_seen", int64(v.CyclesSeen))
+		t.Add("cycles_plausible", int64(v.CyclesPlausible))
 	}
 	return v
 }

@@ -1,0 +1,205 @@
+// Package obs is the zero-dependency instrumentation layer of the
+// reproduction: named spans with durations, nested children, and typed
+// work counters (Tracer/Span), plus a fixed-bucket latency Histogram
+// rendered in the Prometheus text exposition format.
+//
+// The design goal is that instrumentation can be threaded through every
+// pipeline stage and left in place permanently: all Span methods are
+// nil-receiver no-ops, so code records into "the active span" without
+// branching, and an untraced run pays only a nil check per call site.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one named piece of work: a start time, a duration (set by End),
+// a set of named int64 counters, and nested child spans. A Span tree is
+// built and read by a single goroutine (one analysis); it is not safe for
+// concurrent mutation. All methods are no-ops on a nil receiver, so
+// callers thread a possibly-nil *Span through the pipeline unconditionally.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Dur      time.Duration
+	Children []*Span
+
+	counters map[string]int64
+	ended    bool
+}
+
+func newSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartChild opens and returns a child span. Nil-safe: returns nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End fixes the span's duration. Repeated calls keep the first duration.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.Dur = time.Since(s.Start)
+}
+
+// Add increments the named counter by delta.
+func (s *Span) Add(counter string, delta int64) {
+	if s == nil {
+		return
+	}
+	if s.counters == nil {
+		s.counters = make(map[string]int64, 4)
+	}
+	s.counters[counter] += delta
+}
+
+// Set overwrites the named counter.
+func (s *Span) Set(counter string, v int64) {
+	if s == nil {
+		return
+	}
+	if s.counters == nil {
+		s.counters = make(map[string]int64, 4)
+	}
+	s.counters[counter] = v
+}
+
+// Counter returns the named counter's value (0 when absent or nil span).
+func (s *Span) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counters[name]
+}
+
+// CounterNames returns the span's counter names, sorted.
+func (s *Span) CounterNames() []string {
+	if s == nil || len(s.counters) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Child returns the first child with the given name, or nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Walk visits the span and every descendant in depth-first order.
+func (s *Span) Walk(fn func(depth int, sp *Span)) {
+	if s == nil {
+		return
+	}
+	var rec func(depth int, sp *Span)
+	rec = func(depth int, sp *Span) {
+		fn(depth, sp)
+		for _, c := range sp.Children {
+			rec(depth+1, c)
+		}
+	}
+	rec(0, s)
+}
+
+// Tree renders the span tree as indented lines: name, duration, and the
+// sorted counters of each span. The per-stage durations of a tree built by
+// a sequential pipeline sum to (at most) the root duration.
+func (s *Span) Tree() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.Walk(func(depth int, sp *Span) {
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&b, "%s%-*s %12s", indent, 28-len(indent), sp.Name, sp.Dur.Round(time.Microsecond))
+		for _, n := range sp.CounterNames() {
+			fmt.Fprintf(&b, "  %s=%d", n, sp.Counter(n))
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// SpanJSON is the stable wire projection of a Span, used by the report
+// schema (v2) and the analysis service.
+type SpanJSON struct {
+	Name       string           `json:"name"`
+	DurationMs float64          `json:"durationMs"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Children   []*SpanJSON      `json:"children,omitempty"`
+}
+
+// JSON builds the wire projection of the span tree (nil for a nil span).
+func (s *Span) JSON() *SpanJSON {
+	if s == nil {
+		return nil
+	}
+	out := &SpanJSON{
+		Name:       s.Name,
+		DurationMs: float64(s.Dur) / float64(time.Millisecond),
+	}
+	if len(s.counters) > 0 {
+		out.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			out.Counters[k] = v
+		}
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}
+
+// Tracer owns one span tree. A nil *Tracer is the disabled tracer: Start
+// returns a nil *Span and the whole instrumented pipeline runs untraced.
+type Tracer struct {
+	root *Span
+}
+
+// NewTracer returns an enabled tracer with no spans yet.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Start opens a span: the root when none exists yet, otherwise a child of
+// the root. Nil-safe: returns nil.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if t.root == nil {
+		t.root = newSpan(name)
+		return t.root
+	}
+	return t.root.StartChild(name)
+}
+
+// Root returns the root span (nil before the first Start or on nil).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}

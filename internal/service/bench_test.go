@@ -41,3 +41,9 @@ func benchAnalyze(b *testing.B, cfg Config) {
 
 func BenchmarkServiceCacheHit(b *testing.B)  { benchAnalyze(b, Config{}) }
 func BenchmarkServiceCacheMiss(b *testing.B) { benchAnalyze(b, Config{CacheEntries: -1}) }
+
+// The traced variant bounds the tracer's cost against CacheMiss: every
+// analysis records the full span tree and feeds the stage histograms.
+func BenchmarkServiceCacheMissTraced(b *testing.B) {
+	benchAnalyze(b, Config{CacheEntries: -1, TraceAll: true})
+}

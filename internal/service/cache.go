@@ -38,8 +38,10 @@ func Key(source string, opt siwa.Options) CacheKey {
 
 // canonicalize replaces zero-value limits with the defaults each pipeline
 // stage would substitute, so equivalent requests address the same entry.
-// The trace flag is excluded from the key on purpose: the service never
-// returns traces, so it pins Traces off instead of keying on it.
+// Tracing options (Options.Trace/Tracer, waves Traces) are excluded from
+// the key on purpose: a trace does not change the report, so traced and
+// untraced requests share an entry. The cached value never carries a span
+// tree — traces are recorded per-run and echoed outside the report.
 func canonicalize(opt siwa.Options) siwa.Options {
 	if opt.EnumerateLimit == 0 {
 		opt.EnumerateLimit = 4096
@@ -61,6 +63,14 @@ func canonicalize(opt siwa.Options) siwa.Options {
 	return opt
 }
 
+// CachedResult is one cache value: the marshalled JSONReport (without any
+// span tree) plus the verdict summary, kept alongside so request logs can
+// name the outcome of a cache hit without re-parsing the report.
+type CachedResult struct {
+	Report  json.RawMessage
+	Verdict string
+}
+
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
 	Entries   int
@@ -70,7 +80,7 @@ type CacheStats struct {
 }
 
 // Cache is a bounded LRU over analysis results, keyed by content address.
-// Values are the marshalled JSONReport bytes, immutable by construction,
+// Values hold the marshalled JSONReport bytes, immutable by construction,
 // so hits can be served to concurrent clients without copying. The
 // methods are safe for concurrent use. A nil *Cache never hits and never
 // stores, so a disabled cache needs no call-site branching.
@@ -86,7 +96,7 @@ type Cache struct {
 
 type cacheEntry struct {
 	key CacheKey
-	val json.RawMessage
+	val CachedResult
 }
 
 // NewCache returns an LRU cache holding at most max entries (max >= 1).
@@ -101,26 +111,26 @@ func NewCache(max int) *Cache {
 	}
 }
 
-// Get returns the cached report for key and records a hit or miss.
-func (c *Cache) Get(key CacheKey) (json.RawMessage, bool) {
+// Get returns the cached result for key and records a hit or miss.
+func (c *Cache) Get(key CacheKey) (CachedResult, bool) {
 	if c == nil {
-		return nil, false
+		return CachedResult{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return CachedResult{}, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).val, true
 }
 
-// Put stores a report under key, evicting the least recently used entry
+// Put stores a result under key, evicting the least recently used entry
 // when full. Storing an existing key refreshes its recency.
-func (c *Cache) Put(key CacheKey, val json.RawMessage) {
+func (c *Cache) Put(key CacheKey, val CachedResult) {
 	if c == nil {
 		return
 	}

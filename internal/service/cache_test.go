@@ -53,13 +53,13 @@ func TestCacheLRU(t *testing.T) {
 	if _, ok := c.Get(k1); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put(k1, json.RawMessage(`1`))
-	c.Put(k2, json.RawMessage(`2`))
-	if v, ok := c.Get(k1); !ok || string(v) != "1" {
-		t.Fatalf("k1: %q %v", v, ok)
+	c.Put(k1, CachedResult{Report: json.RawMessage(`1`)})
+	c.Put(k2, CachedResult{Report: json.RawMessage(`2`)})
+	if v, ok := c.Get(k1); !ok || string(v.Report) != "1" {
+		t.Fatalf("k1: %q %v", v.Report, ok)
 	}
 	// k1 is now most recent; inserting k3 must evict k2.
-	c.Put(k3, json.RawMessage(`3`))
+	c.Put(k3, CachedResult{Report: json.RawMessage(`3`)})
 	if _, ok := c.Get(k2); ok {
 		t.Error("k2 survived eviction")
 	}
@@ -74,19 +74,19 @@ func TestCacheLRU(t *testing.T) {
 		t.Errorf("hit/miss counts: %+v", st)
 	}
 	// Re-putting an existing key refreshes, not grows.
-	c.Put(k1, json.RawMessage(`11`))
+	c.Put(k1, CachedResult{Report: json.RawMessage(`11`)})
 	if c.Len() != 2 {
 		t.Errorf("len=%d after refresh", c.Len())
 	}
-	if v, _ := c.Get(k1); string(v) != "11" {
-		t.Errorf("refresh lost: %q", v)
+	if v, _ := c.Get(k1); string(v.Report) != "11" {
+		t.Errorf("refresh lost: %q", v.Report)
 	}
 }
 
 func TestNilCacheIsDisabled(t *testing.T) {
 	var c *Cache
 	k := Key("x", siwa.Options{})
-	c.Put(k, json.RawMessage(`1`))
+	c.Put(k, CachedResult{Report: json.RawMessage(`1`)})
 	if _, ok := c.Get(k); ok {
 		t.Fatal("nil cache returned a hit")
 	}

@@ -7,6 +7,7 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"time"
 )
@@ -34,6 +35,17 @@ type Config struct {
 	// ShutdownGrace bounds how long Run waits for in-flight requests to
 	// drain after its context is cancelled. 0 means 10s.
 	ShutdownGrace time.Duration
+	// Logger receives one structured record per analyze/batch request
+	// (request id, algorithm, cache hit, duration, verdict). Nil disables
+	// request logging.
+	Logger *slog.Logger
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: the profiling surface is opt-in.
+	EnablePprof bool
+	// TraceAll traces every executed analysis (not just requests that ask
+	// with "trace": true), feeding the per-stage latency histograms. The
+	// span tree is still only echoed to requests that opted in.
+	TraceAll bool
 }
 
 // Default returns the standard service configuration.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -57,20 +58,27 @@ func (wo *WireOptions) resolve() (siwa.Options, error) {
 	return opt, nil
 }
 
-// AnalyzeRequest is the POST /v1/analyze body.
+// AnalyzeRequest is the POST /v1/analyze body. Trace asks the service to
+// run the analysis with pipeline tracing and echo the span tree in the
+// response; it never changes the report or its cache key.
 type AnalyzeRequest struct {
 	Source    string       `json:"source"`
 	Options   *WireOptions `json:"options,omitempty"`
 	TimeoutMs int64        `json:"timeoutMs,omitempty"`
+	Trace     bool         `json:"trace,omitempty"`
 }
 
 // AnalyzeResponse is the POST /v1/analyze success body. Report is a
 // siwa.JSONReport (schemaVersion inside); Cached reports a result served
-// from the content-addressed cache without re-analysis.
+// from the content-addressed cache without re-analysis. Trace is the
+// pipeline span tree, present only when the request asked for one AND the
+// analysis actually ran — cache hits carry no trace, since nothing was
+// executed to time.
 type AnalyzeResponse struct {
 	Report    json.RawMessage `json:"report"`
 	Cached    bool            `json:"cached"`
 	ElapsedMs float64         `json:"elapsedMs"`
+	Trace     *siwa.JSONSpan  `json:"trace,omitempty"`
 }
 
 // BatchProgram is one program in a batch request. Its options, when
@@ -141,15 +149,43 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
 
+// verdictOf folds a report's two anomaly dimensions into one log label.
+func verdictOf(rep *siwa.Report) string {
+	df, sf := rep.DeadlockFree(), rep.Stall.StallFree()
+	switch {
+	case df && sf:
+		return "clean"
+	case !df && !sf:
+		return "may-deadlock,may-stall"
+	case !df:
+		return "may-deadlock"
+	default:
+		return "may-stall"
+	}
+}
+
+// analyzeOutcome is what one analyzeOne call hands back to a handler:
+// everything the response body and the request log need.
+type analyzeOutcome struct {
+	report  json.RawMessage
+	verdict string
+	cached  bool
+	trace   *siwa.JSONSpan
+}
+
 // analyzeOne serves one (source, options) pair: cache lookup, then a
 // pool-bounded siwa.AnalyzeContext run whose marshalled report is stored
-// back under the content address. The bool result reports a cache hit.
-func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options) (json.RawMessage, bool, error) {
+// back under the content address. When wantTrace (or Config.TraceAll) is
+// set and the analysis actually runs, the pipeline is traced: stage
+// durations feed the siwa_analyze_stage_seconds histograms, and the span
+// tree is returned (to the requester only) outside the cached report.
+func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options, wantTrace bool) (analyzeOutcome, error) {
 	key := Key(source, opt)
-	if rep, ok := s.cache.Get(key); ok {
-		return rep, true, nil
+	if res, ok := s.cache.Get(key); ok {
+		return analyzeOutcome{report: res.Report, verdict: res.Verdict, cached: true}, nil
 	}
-	var out json.RawMessage
+	opt.Trace = wantTrace || s.cfg.TraceAll
+	var out analyzeOutcome
 	var runErr error
 	err := s.pool.Do(ctx, func() {
 		prog, err := siwa.Parse(source)
@@ -166,23 +202,54 @@ func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options
 		if !rep.DeadlockFree() || !rep.Stall.StallFree() {
 			s.metrics.Anomalous.Add(1)
 		}
-		b, err := json.Marshal(rep.JSONReport())
+		s.metrics.ObserveSpans(rep.Trace)
+		// The cached report must be identical for traced and untraced
+		// requests (they share a key), so the span tree is projected out
+		// of the stored JSON and carried separately.
+		jr := rep.JSONReport()
+		traceJSON := jr.Trace
+		jr.Trace = nil
+		b, err := json.Marshal(jr)
 		if err != nil {
 			runErr = err
 			return
 		}
-		out = b
-		s.cache.Put(key, b)
+		out = analyzeOutcome{report: b, verdict: verdictOf(rep)}
+		if wantTrace {
+			out.trace = traceJSON
+		}
+		s.cache.Put(key, CachedResult{Report: b, Verdict: out.verdict})
 	})
 	if err != nil {
 		// Pool admission lost the race against the deadline: the analysis
 		// never started.
-		return nil, false, err
+		return analyzeOutcome{}, err
 	}
 	if runErr != nil {
-		return nil, false, runErr
+		return analyzeOutcome{}, runErr
 	}
-	return out, false, nil
+	return out, nil
+}
+
+// logRequest emits one structured record per request when logging is
+// configured. attrs supplements the common fields (request id, endpoint,
+// status, duration).
+func (s *Server) logRequest(r *http.Request, id string, endpoint string, status int, start time.Time, attrs ...slog.Attr) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	common := []slog.Attr{
+		slog.String("id", id),
+		slog.String("endpoint", endpoint),
+		slog.Int("status", status),
+		slog.Float64("ms", float64(time.Since(start))/float64(time.Millisecond)),
+	}
+	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request", append(common, attrs...)...)
+}
+
+// nextRequestID mints a process-unique request id for log correlation.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("req-%06d", s.reqID.Add(1))
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -190,42 +257,58 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
 	start := time.Now()
+	defer func() { s.metrics.ObserveRequest("analyze", time.Since(start)) }()
+	id := s.nextRequestID()
 	var req AnalyzeRequest
 	if status, err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, status, "%v", err)
+		s.logRequest(r, id, "analyze", status, start, slog.String("error", err.Error()))
 		return
 	}
 	if req.Source == "" {
 		s.writeError(w, http.StatusBadRequest, "missing source")
+		s.logRequest(r, id, "analyze", http.StatusBadRequest, start, slog.String("error", "missing source"))
 		return
 	}
 	opt, err := req.Options.resolve()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.logRequest(r, id, "analyze", http.StatusBadRequest, start, slog.String("error", err.Error()))
 		return
 	}
+	algo := opt.Algorithm.String()
 	d, err := s.cfg.timeoutFor(req.TimeoutMs)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.logRequest(r, id, "analyze", http.StatusBadRequest, start, slog.String("error", err.Error()))
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	rep, cached, err := s.analyzeOne(ctx, req.Source, opt)
+	out, err := s.analyzeOne(ctx, req.Source, opt, req.Trace)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, AnalyzeResponse{
-			Report:    rep,
-			Cached:    cached,
+			Report:    out.report,
+			Cached:    out.cached,
 			ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+			Trace:     out.trace,
 		})
+		s.logRequest(r, id, "analyze", http.StatusOK, start,
+			slog.String("algorithm", algo),
+			slog.Bool("cached", out.cached),
+			slog.String("verdict", out.verdict))
 	case isCancellation(err):
 		s.metrics.Timeouts.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: fmt.Sprintf("analysis aborted: %v", err)})
+		s.logRequest(r, id, "analyze", http.StatusServiceUnavailable, start,
+			slog.String("algorithm", algo), slog.String("error", err.Error()))
 	default:
 		s.writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		s.logRequest(r, id, "analyze", http.StatusUnprocessableEntity, start,
+			slog.String("algorithm", algo), slog.String("error", err.Error()))
 	}
 }
 
@@ -234,23 +317,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.metrics.InFlight.Add(1)
 	defer s.metrics.InFlight.Add(-1)
 	start := time.Now()
+	defer func() { s.metrics.ObserveRequest("batch", time.Since(start)) }()
+	id := s.nextRequestID()
 	var req BatchRequest
 	if status, err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, status, "%v", err)
+		s.logRequest(r, id, "batch", status, start, slog.String("error", err.Error()))
 		return
 	}
 	if len(req.Programs) == 0 {
 		s.writeError(w, http.StatusBadRequest, "empty batch")
+		s.logRequest(r, id, "batch", http.StatusBadRequest, start, slog.String("error", "empty batch"))
 		return
 	}
 	if len(req.Programs) > s.cfg.MaxBatch {
 		s.writeError(w, http.StatusBadRequest,
 			"batch of %d exceeds limit %d", len(req.Programs), s.cfg.MaxBatch)
+		s.logRequest(r, id, "batch", http.StatusBadRequest, start, slog.String("error", "batch too large"))
 		return
 	}
 	d, err := s.cfg.timeoutFor(req.TimeoutMs)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.logRequest(r, id, "batch", http.StatusBadRequest, start, slog.String("error", err.Error()))
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
@@ -263,6 +352,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		res.ID = p.ID
 		if p.Source == "" {
 			res.Error = "missing source"
+			s.metrics.BatchItems[BatchError].Add(1)
 			continue
 		}
 		wo := p.Options
@@ -272,21 +362,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		opt, err := wo.resolve()
 		if err != nil {
 			res.Error = err.Error()
+			s.metrics.BatchItems[BatchError].Add(1)
 			continue
 		}
 		wg.Add(1)
 		go func(source string, opt siwa.Options, res *BatchResult) {
 			defer wg.Done()
-			rep, cached, err := s.analyzeOne(ctx, source, opt)
+			out, err := s.analyzeOne(ctx, source, opt, false)
 			if err != nil {
 				if isCancellation(err) {
 					s.metrics.Timeouts.Add(1)
+					s.metrics.BatchItems[BatchTimeout].Add(1)
+				} else {
+					s.metrics.BatchItems[BatchError].Add(1)
 				}
 				res.Error = err.Error()
 				return
 			}
-			res.Report = rep
-			res.Cached = cached
+			if out.cached {
+				s.metrics.BatchItems[BatchCached].Add(1)
+			} else {
+				s.metrics.BatchItems[BatchOK].Add(1)
+			}
+			res.Report = out.report
+			res.Cached = out.cached
 		}(p.Source, opt, res)
 	}
 	wg.Wait()
@@ -294,6 +393,44 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Results:   results,
 		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
 	})
+	cached, failed := 0, 0
+	for i := range results {
+		if results[i].Cached {
+			cached++
+		}
+		if results[i].Error != "" {
+			failed++
+		}
+	}
+	s.logRequest(r, id, "batch", http.StatusOK, start,
+		slog.Int("programs", len(results)),
+		slog.Int("cached", cached),
+		slog.Int("failed", failed))
+}
+
+// AlgorithmEntry is one detector in the GET /v1/algorithms listing.
+type AlgorithmEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// AlgorithmsResponse is the GET /v1/algorithms body: the detector
+// spectrum in increasing precision/cost order, plus the name applied when
+// a request names no algorithm.
+type AlgorithmsResponse struct {
+	Default    string           `json:"default"`
+	Algorithms []AlgorithmEntry `json:"algorithms"`
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	resp := AlgorithmsResponse{Default: siwa.Options{}.Algorithm.String()}
+	for _, info := range siwa.AlgorithmList() {
+		resp.Algorithms = append(resp.Algorithms, AlgorithmEntry{
+			Name:        info.Name,
+			Description: info.Description,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

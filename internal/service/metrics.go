@@ -3,12 +3,32 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
-// Metrics holds the service counters, exported by GET /metrics in the
-// Prometheus text exposition format (hand-rolled; the module stays
-// dependency-free). All fields are updated atomically.
+// BatchOutcome classifies one program's fate inside a batch request, for
+// the siwa_batch_items_total{outcome=...} counter family.
+type BatchOutcome int
+
+const (
+	BatchOK BatchOutcome = iota // analyzed fresh
+	BatchCached
+	BatchError
+	BatchTimeout
+	numBatchOutcomes
+)
+
+// batchOutcomeNames are the label values, indexed by BatchOutcome.
+var batchOutcomeNames = [numBatchOutcomes]string{"ok", "cached", "error", "timeout"}
+
+// Metrics holds the service counters and latency histograms, exported by
+// GET /metrics in the Prometheus text exposition format (hand-rolled; the
+// module stays dependency-free). All fields are updated atomically.
 type Metrics struct {
 	RequestsAnalyze atomic.Uint64 // POST /v1/analyze requests
 	RequestsBatch   atomic.Uint64 // POST /v1/analyze/batch requests
@@ -17,10 +37,69 @@ type Metrics struct {
 	Timeouts        atomic.Uint64 // analyses aborted by deadline or disconnect
 	Errors          atomic.Uint64 // requests rejected (parse, validation, body size)
 	InFlight        atomic.Int64  // requests currently being served
+
+	// BatchItems counts per-program outcomes inside batch requests,
+	// indexed by BatchOutcome. All four series are exported even at zero,
+	// so dashboards see the full label set from the first scrape.
+	BatchItems [numBatchOutcomes]atomic.Uint64
+
+	// httpLatency measures wall time per endpoint; the label set is fixed
+	// at construction so scrapes are allocation-free.
+	httpLatency map[string]*obs.Histogram
+
+	// stageLatency measures per-pipeline-stage time, keyed by span name
+	// ("sync-graph", "clg", "detect:refined", ...). Stages appear as they
+	// are first observed, which only happens on traced analyses.
+	stageMu      sync.Mutex
+	stageLatency map[string]*obs.Histogram
 }
 
-// WriteTo renders every counter, plus the cache and pool gauges, in
-// Prometheus text format.
+// newMetrics builds a Metrics with the fixed endpoint histograms.
+func newMetrics() *Metrics {
+	return &Metrics{
+		httpLatency: map[string]*obs.Histogram{
+			"analyze": obs.NewHistogram(obs.LatencyBuckets()...),
+			"batch":   obs.NewHistogram(obs.LatencyBuckets()...),
+		},
+		stageLatency: make(map[string]*obs.Histogram),
+	}
+}
+
+// ObserveRequest records one request's wall time under its endpoint label.
+func (m *Metrics) ObserveRequest(endpoint string, d time.Duration) {
+	m.httpLatency[endpoint].Observe(d)
+}
+
+// ObserveStage records one pipeline stage's duration, creating the stage's
+// histogram on first sight.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	m.stageMu.Lock()
+	h, ok := m.stageLatency[stage]
+	if !ok {
+		h = obs.NewHistogram(obs.LatencyBuckets()...)
+		m.stageLatency[stage] = h
+	}
+	m.stageMu.Unlock()
+	h.Observe(d)
+}
+
+// ObserveSpans walks a traced analysis's span tree and records the root
+// (as stage "total") plus every top-level stage into the stage histograms.
+func (m *Metrics) ObserveSpans(root *obs.Span) {
+	if root == nil {
+		return
+	}
+	m.ObserveStage("total", root.Dur)
+	root.Walk(func(depth int, sp *obs.Span) {
+		if depth == 1 {
+			m.ObserveStage(sp.Name, sp.Dur)
+		}
+	})
+}
+
+// WriteTo renders every counter, histogram, and the cache and pool gauges
+// in Prometheus text format. Families and label sets are emitted in a
+// fixed order so the exposition is reproducible.
 func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool) {
 	cs := cache.Stats()
 	counter := func(name, help string, v uint64) {
@@ -36,6 +115,10 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool) {
 	counter("siwa_anomalous_total", "analyses that reported a possible deadlock or stall", m.Anomalous.Load())
 	counter("siwa_timeouts_total", "analyses aborted by deadline or client disconnect", m.Timeouts.Load())
 	counter("siwa_request_errors_total", "requests rejected before analysis", m.Errors.Load())
+	fmt.Fprintf(w, "# HELP siwa_batch_items_total per-program outcomes inside batch requests\n# TYPE siwa_batch_items_total counter\n")
+	for i, name := range batchOutcomeNames {
+		fmt.Fprintf(w, "siwa_batch_items_total{outcome=%q} %d\n", name, m.BatchItems[i].Load())
+	}
 	counter("siwa_cache_hits_total", "result cache hits", cs.Hits)
 	counter("siwa_cache_misses_total", "result cache misses", cs.Misses)
 	counter("siwa_cache_evictions_total", "result cache LRU evictions", cs.Evictions)
@@ -43,4 +126,25 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool) {
 	gauge("siwa_inflight_requests", "requests currently being served", m.InFlight.Load())
 	gauge("siwa_workers", "worker pool concurrency bound", int64(pool.Size()))
 	gauge("siwa_workers_busy", "worker pool slots in use", int64(pool.InFlight()))
+
+	fmt.Fprintf(w, "# HELP siwa_http_request_seconds request wall time by endpoint\n# TYPE siwa_http_request_seconds histogram\n")
+	for _, ep := range []string{"analyze", "batch"} {
+		m.httpLatency[ep].WriteProm(w, "siwa_http_request_seconds", "endpoint", ep)
+	}
+
+	fmt.Fprintf(w, "# HELP siwa_analyze_stage_seconds pipeline stage time from traced analyses\n# TYPE siwa_analyze_stage_seconds histogram\n")
+	m.stageMu.Lock()
+	stages := make([]string, 0, len(m.stageLatency))
+	for name := range m.stageLatency {
+		stages = append(stages, name)
+	}
+	hs := make([]*obs.Histogram, len(stages))
+	sort.Strings(stages)
+	for i, name := range stages {
+		hs[i] = m.stageLatency[name]
+	}
+	m.stageMu.Unlock()
+	for i, name := range stages {
+		hs[i].WriteProm(w, "siwa_analyze_stage_seconds", "stage", name)
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,6 +19,7 @@ type Server struct {
 	pool    *Pool
 	metrics *Metrics
 	handler http.Handler
+	reqID   atomic.Uint64
 }
 
 // New builds a Server from cfg (normalized first).
@@ -25,7 +28,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		pool:    NewPool(cfg.Workers),
-		metrics: &Metrics{},
+		metrics: newMetrics(),
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = NewCache(cfg.CacheEntries)
@@ -33,8 +36,18 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// The index route also serves the named profiles (heap,
+		// goroutine, ...) via its trailing slash.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.handler = mux
 	return s
 }

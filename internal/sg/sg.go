@@ -177,6 +177,20 @@ func MustFromProgram(p *lang.Program) *Graph {
 // N returns the number of nodes including b and e.
 func (g *Graph) N() int { return len(g.Nodes) }
 
+// NumRendezvous counts the send and accept nodes, derived from each
+// node's own kind rather than assuming a fixed number of virtual nodes.
+// Reporting code must use this instead of N()-2, so graphs with different
+// virtual-node accounting can never misreport.
+func (g *Graph) NumRendezvous() int {
+	n := 0
+	for _, nd := range g.Nodes {
+		if nd.IsRendezvous() {
+			n++
+		}
+	}
+	return n
+}
+
 // NumSyncEdges counts undirected sync edges.
 func (g *Graph) NumSyncEdges() int {
 	n := 0

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/sg"
 )
 
@@ -47,6 +48,9 @@ type Options struct {
 	// Truncated) set. Callers with a context typically pass
 	// func() bool { return ctx.Err() != nil }.
 	Cancel func() bool
+	// Trace, when non-nil, receives the exploration's work counters
+	// (states, transitions, anomalous waves) at the end of the search.
+	Trace *obs.Span
 }
 
 // Rendezvous is one fired synchronization: the two node ids that met.
@@ -111,6 +115,14 @@ func Explore(g *sg.Graph, opt Options) *Result {
 		e.parent = map[string]parentRec{}
 	}
 	e.run()
+	if t := opt.Trace; t != nil {
+		t.Add("states", int64(e.res.States))
+		t.Add("transitions", int64(e.res.Transitions))
+		t.Add("anomalous_waves", int64(e.res.AnomalousWaves))
+		if e.res.Truncated {
+			t.Add("truncated", 1)
+		}
+	}
 	return e.res
 }
 

@@ -7,7 +7,12 @@ import (
 // SchemaVersion is the version of the JSONReport wire format, carried in
 // every report's schemaVersion field so the service and CLI outputs are
 // versioned from day one. Bump it on any breaking change to JSONReport.
-const SchemaVersion = 1
+//
+// v2 (additive): a "trace" field — the pipeline span tree with per-stage
+// durations and work counters — appears when the analysis ran with
+// Options.Trace. Every v1 field is unchanged, so v1 readers can consume
+// v2 reports by ignoring the new field.
+const SchemaVersion = 2
 
 // JSONReport is the stable machine-readable projection of a Report,
 // emitted by Report.JSON, siwad -json, and the analysis service.
@@ -30,6 +35,11 @@ type JSONReport struct {
 	StallSignals []JSONSignal `json:"stallSignals,omitempty"`
 
 	Exact *JSONExact `json:"exact,omitempty"`
+
+	// Trace is the pipeline span tree (schema v2, additive): per-stage
+	// durations in milliseconds and work counters. Present only when the
+	// analysis was traced.
+	Trace *JSONSpan `json:"trace,omitempty"`
 }
 
 // JSONVerdict is one detector outcome.
@@ -93,13 +103,14 @@ func (r *Report) JSONReport() JSONReport {
 	out := JSONReport{
 		SchemaVersion:   SchemaVersion,
 		Tasks:           len(r.Graph.Tasks),
-		RendezvousNodes: r.Graph.N() - 2,
+		RendezvousNodes: r.Graph.NumRendezvous(),
 		SyncEdges:       r.Graph.NumSyncEdges(),
 		ControlEdges:    r.Graph.NumControlEdges(),
 		Transformed:     r.Unrolled != r.Program,
 		Deadlock:        r.jsonVerdict(r.Deadlock),
 		DeadlockFree:    r.DeadlockFree(),
 		StallFree:       r.Stall.StallFree(),
+		Trace:           r.Trace.JSON(),
 	}
 	for _, v := range r.Spectrum {
 		out.Spectrum = append(out.Spectrum, r.jsonVerdict(v))

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/sg"
 	"repro/internal/stall"
@@ -50,7 +51,17 @@ type (
 	ExactResult = waves.Result
 	// StallReport is the Lemma 4 balance analysis outcome.
 	StallReport = stall.Report
+	// Tracer collects a span tree when passed via Options.Tracer.
+	Tracer = obs.Tracer
+	// Span is one named, timed pipeline stage with work counters.
+	Span = obs.Span
+	// JSONSpan is the wire projection of a Span (report schema v2).
+	JSONSpan = obs.SpanJSON
 )
+
+// NewTracer returns a tracer for Options.Tracer; after Analyze, read the
+// span tree from Report.Trace (or Tracer.Root).
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Detector spectrum, in increasing precision and cost.
 const (
@@ -105,6 +116,16 @@ type Options struct {
 	Exact bool
 	// ExactOptions tunes the explorer when Exact is set.
 	ExactOptions waves.Options
+	// Trace collects a span tree — one timed span per pipeline stage,
+	// carrying each stage's work counters (hypotheses tested, SCC runs,
+	// pruned nodes, CLG sizes, wave states...) — into Report.Trace.
+	// Tracing off costs nothing: every instrumentation point is a nil
+	// check.
+	Trace bool
+	// Tracer, when non-nil, supplies a caller-owned tracer instead of the
+	// one Trace would create, so callers can aggregate spans across many
+	// Analyze runs. Setting it implies Trace.
+	Tracer *Tracer
 }
 
 // Report is the complete analysis outcome for one program.
@@ -145,6 +166,12 @@ type Report struct {
 	// program has loops.
 	Exact      *ExactResult
 	ExactGraph *sg.Graph
+
+	// Trace is the root span of the pipeline trace (nil unless
+	// Options.Trace or Options.Tracer was set): one child span per stage
+	// that ran, with durations and work counters. Render it with
+	// TraceString or project it with JSONReport.
+	Trace *Span
 }
 
 // Analyze runs the paper's pipeline on p: unroll loops twice (Lemma 1),
@@ -167,42 +194,80 @@ func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, erro
 		}
 		return nil
 	}
+	tr := opt.Tracer
+	if tr == nil && opt.Trace {
+		tr = obs.NewTracer()
+	}
+	root := tr.Start("analyze") // nil span when tracing is off
+	defer root.End()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	rep := &Report{Program: p, Unrolled: p}
+	rep := &Report{Program: p, Unrolled: p, Trace: root}
 	inlined := p
 	if len(p.Procs) > 0 || p.HasCalls() {
+		sp := root.StartChild("inline")
 		inlined = p.InlineCalls()
 		rep.Unrolled = inlined
+		sp.End()
 	}
 	if err := stage("unroll"); err != nil {
 		return nil, err
 	}
 	if cfg.HasLoops(inlined) {
+		sp := root.StartChild("unroll")
 		rep.Unrolled = cfg.Unroll(inlined)
+		if sp != nil {
+			sp.Set("rendezvous_before", int64(inlined.CountRendezvous()))
+			sp.Set("rendezvous_after", int64(rep.Unrolled.CountRendezvous()))
+		}
+		sp.End()
 	}
 	if err := stage("sync graph"); err != nil {
 		return nil, err
 	}
+	sp := root.StartChild("sync-graph")
 	g, err := sg.FromProgram(rep.Unrolled)
 	if err != nil {
 		return nil, err
 	}
 	rep.Graph = g
+	if sp != nil {
+		sp.Set("tasks", int64(len(g.Tasks)))
+		sp.Set("rendezvous_nodes", int64(g.NumRendezvous()))
+		sp.Set("sync_edges", int64(g.NumSyncEdges()))
+		sp.Set("control_edges", int64(g.NumControlEdges()))
+	}
+	sp.End()
 	// The FIFO refinement is only valid on the program's own loop-free
 	// graph: on a twice-unrolled graph, later loop iterations collapse
 	// onto the second copy and real diagonal pairings (instance k with
 	// instance k, k > 2) can map to copy pairs the refinement deletes.
 	if opt.FIFO && !cfg.HasLoops(inlined) {
+		sp := root.StartChild("fifo")
 		info := order.Compute(g)
 		rep.FIFORemoved = g.RemoveSyncEdges(info.InfeasibleSyncPairs())
+		sp.Set("removed_sync_edges", int64(rep.FIFORemoved))
+		sp.End()
 	}
 	if err := stage("deadlock detection"); err != nil {
 		return nil, err
 	}
-	rep.Analyzer = core.NewAnalyzer(g)
-	rep.Deadlock = rep.Analyzer.Run(opt.Algorithm)
+	sp = root.StartChild("clg")
+	rep.Analyzer = core.NewAnalyzerTraced(g, sp)
+	sp.End()
+	// Each detector stage points the analyzer's trace at its own span, so
+	// the marking and SCC counters land on the stage that caused them.
+	detect := func(name string, run func()) {
+		sp := root.StartChild(name)
+		rep.Analyzer.Trace = sp
+		run()
+		rep.Analyzer.Trace = nil
+		sp.End()
+	}
+	detect("detect:"+opt.Algorithm.String(), func() {
+		rep.Deadlock = rep.Analyzer.Run(opt.Algorithm)
+	})
 	if opt.AllAlgorithms {
 		for _, a := range []Algorithm{
 			AlgoNaive, AlgoRefined, AlgoRefinedPairs,
@@ -211,30 +276,42 @@ func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, erro
 			if err := stage("spectrum " + a.String()); err != nil {
 				return nil, err
 			}
-			rep.Spectrum = append(rep.Spectrum, rep.Analyzer.Run(a))
+			detect("spectrum:"+a.String(), func() {
+				rep.Spectrum = append(rep.Spectrum, rep.Analyzer.Run(a))
+			})
 		}
 	}
 	if opt.Constraint4 && rep.Deadlock.MayDeadlock {
 		if err := stage("constraint 4"); err != nil {
 			return nil, err
 		}
-		rep.Constraint4Free, rep.Constraint4Conclusive = rep.Analyzer.Constraint4Certify(0)
+		detect("constraint4", func() {
+			rep.Constraint4Free, rep.Constraint4Conclusive = rep.Analyzer.Constraint4Certify(0)
+		})
 	}
 	if opt.Enumerate {
 		if err := stage("enumeration"); err != nil {
 			return nil, err
 		}
-		ev := rep.Analyzer.Enumerate(opt.EnumerateLimit)
-		rep.Enumerated = &ev
+		detect("enumerate", func() {
+			ev := rep.Analyzer.Enumerate(opt.EnumerateLimit)
+			rep.Enumerated = &ev
+		})
 	}
 	if err := stage("stall balance"); err != nil {
 		return nil, err
 	}
+	sp = root.StartChild("stall")
 	rep.Stall = stall.CheckAllLinearizations(inlined)
+	if sp != nil {
+		sp.Set("unbalanced_signals", int64(len(rep.Stall.Unbalanced())))
+	}
+	sp.End()
 	if opt.Exact {
 		if err := stage("exact waves"); err != nil {
 			return nil, err
 		}
+		sp := root.StartChild("exact-waves")
 		eg, err := waves.ExploreProgramGraph(p)
 		if err != nil {
 			return nil, err
@@ -244,7 +321,9 @@ func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, erro
 		if eo.Cancel == nil && ctx.Done() != nil {
 			eo.Cancel = func() bool { return ctx.Err() != nil }
 		}
+		eo.Trace = sp
 		rep.Exact = waves.Explore(eg, eo)
+		sp.End()
 		if rep.Exact.Cancelled {
 			return nil, fmt.Errorf("analyze: cancelled during exact waves: %w", ctx.Err())
 		}
@@ -252,9 +331,16 @@ func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, erro
 	return rep, nil
 }
 
-// TraceString renders one exact-exploration anomaly trace as readable
-// rendezvous steps ("r <-> u"), using ExactGraph labels.
-func (r *Report) TraceString(a waves.Anomaly) string {
+// TraceString renders the pipeline span tree (Report.Trace) as indented
+// lines of stage name, duration, and work counters. Empty when the report
+// was produced without Options.Trace.
+func (r *Report) TraceString() string {
+	return r.Trace.Tree()
+}
+
+// AnomalyTraceString renders one exact-exploration anomaly trace as
+// readable rendezvous steps ("r <-> u"), using ExactGraph labels.
+func (r *Report) AnomalyTraceString(a waves.Anomaly) string {
 	if r.ExactGraph == nil {
 		return ""
 	}
@@ -307,7 +393,7 @@ func (r *Report) WitnessLabels(w []int) []string {
 func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "tasks: %d, rendezvous nodes: %d, sync edges: %d, control edges: %d\n",
-		len(r.Graph.Tasks), r.Graph.N()-2, r.Graph.NumSyncEdges(), r.Graph.NumControlEdges())
+		len(r.Graph.Tasks), r.Graph.NumRendezvous(), r.Graph.NumSyncEdges(), r.Graph.NumControlEdges())
 	if r.Unrolled != r.Program {
 		what := "loops unrolled twice (Lemma 1)"
 		if len(r.Program.Procs) > 0 {

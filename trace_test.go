@@ -1,0 +1,176 @@
+package siwa
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// traceTestProgram deadlocks under refined, so a traced run exercises the
+// detector counters (hypotheses, SCC runs, witnesses).
+const traceTestProgram = `
+task t1 is
+begin
+  accept a;
+  t2.b;
+end;
+task t2 is
+begin
+  accept b;
+  t1.a;
+end;
+`
+
+func TestAnalyzeTraceSpans(t *testing.T) {
+	p := MustParse(traceTestProgram)
+	rep, err := Analyze(p, Options{Algorithm: AlgoRefined, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rep.Trace
+	if root == nil {
+		t.Fatal("Options.Trace set but Report.Trace is nil")
+	}
+	if root.Name != "analyze" {
+		t.Fatalf("root span %q", root.Name)
+	}
+	if root.Dur <= 0 {
+		t.Fatal("root span has no duration")
+	}
+	// Children cover the stages that ran, and their durations cannot
+	// exceed the root's (stages run sequentially inside it).
+	var childSum int64
+	names := map[string]bool{}
+	for _, c := range root.Children {
+		names[c.Name] = true
+		if c.Dur < 0 {
+			t.Fatalf("span %s has negative duration", c.Name)
+		}
+		childSum += int64(c.Dur)
+	}
+	for _, want := range []string{"sync-graph", "clg", "detect:refined", "stall"} {
+		if !names[want] {
+			t.Fatalf("stage %q missing; got %v", want, names)
+		}
+	}
+	if childSum > int64(root.Dur) {
+		t.Fatalf("children sum %d exceeds root %d", childSum, root.Dur)
+	}
+	// The detector span carries nonzero work counters.
+	det := root.Child("detect:refined")
+	if det == nil {
+		t.Fatal("detect:refined span missing")
+	}
+	if det.Counter("hypotheses") == 0 || det.Counter("scc_runs") == 0 {
+		t.Fatalf("detector counters zero: hypotheses=%d scc_runs=%d",
+			det.Counter("hypotheses"), det.Counter("scc_runs"))
+	}
+	if det.Counter("witnesses") == 0 {
+		t.Fatal("deadlocking program recorded no witnesses")
+	}
+	sg := root.Child("sync-graph")
+	if sg == nil || sg.Counter("tasks") != 2 {
+		t.Fatalf("sync-graph span: %+v", sg)
+	}
+	// The rendered tree names every stage.
+	tree := rep.TraceString()
+	for name := range names {
+		if !strings.Contains(tree, name) {
+			t.Fatalf("TraceString missing %q:\n%s", name, tree)
+		}
+	}
+}
+
+func TestAnalyzeUntracedHasNoTrace(t *testing.T) {
+	p := MustParse(traceTestProgram)
+	rep, err := Analyze(p, Options{Algorithm: AlgoRefined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace != nil {
+		t.Fatal("untraced run produced a span tree")
+	}
+	if rep.TraceString() != "" {
+		t.Fatal("TraceString on untraced report not empty")
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"trace"`) {
+		t.Fatalf("untraced JSON carries a trace field:\n%s", data)
+	}
+}
+
+func TestAnalyzeTraceOptionalStages(t *testing.T) {
+	p := MustParse(traceTestProgram)
+	rep, err := Analyze(p, Options{
+		Algorithm:     AlgoRefined,
+		AllAlgorithms: true,
+		Constraint4:   true,
+		Enumerate:     true,
+		Exact:         true,
+		Trace:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"spectrum:naive", "constraint4", "enumerate", "exact-waves",
+	} {
+		if rep.Trace.Child(want) == nil {
+			t.Fatalf("stage %q missing from full-pipeline trace:\n%s",
+				want, rep.TraceString())
+		}
+	}
+	ex := rep.Trace.Child("exact-waves")
+	if ex.Counter("states") == 0 {
+		t.Fatal("exact-waves recorded zero states")
+	}
+}
+
+func TestTraceJSONProjection(t *testing.T) {
+	p := MustParse(traceTestProgram)
+	rep, err := Analyze(p, Options{Algorithm: AlgoRefined, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out JSONReport
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SchemaVersion != 2 {
+		t.Fatalf("schemaVersion=%d, want 2 (trace is a v2 field)", out.SchemaVersion)
+	}
+	if out.Trace == nil || out.Trace.Name != "analyze" {
+		t.Fatalf("trace projection: %+v", out.Trace)
+	}
+	if len(out.Trace.Children) == 0 {
+		t.Fatal("trace projection lost the stage spans")
+	}
+	var det *JSONSpan
+	for _, c := range out.Trace.Children {
+		if c.Name == "detect:refined" {
+			det = c
+		}
+	}
+	if det == nil || det.Counters["hypotheses"] == 0 {
+		t.Fatalf("detector counters lost in projection: %+v", det)
+	}
+}
+
+func TestExternalTracerIsUsed(t *testing.T) {
+	p := MustParse(traceTestProgram)
+	tr := NewTracer()
+	rep, err := Analyze(p, Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil || rep.Trace != tr.Root() {
+		t.Fatal("caller-provided tracer not threaded through")
+	}
+}
