@@ -35,10 +35,11 @@ BENCHTIME ?= 1s
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... > BENCH_$$(date +%Y%m%d).json
 
-# Short fuzzing pass over the parser and inliner.
+# Short fuzzing pass over the parser, inliner, and whole pipeline.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/lang/
 	$(GO) test -fuzz=FuzzInline -fuzztime=30s ./internal/lang/
+	$(GO) test -fuzz=FuzzAnalyzeNaive -fuzztime=30s .
 
 # Regenerate every EXPERIMENTS.md table (full sizes; -quick for a fast run).
 experiments:

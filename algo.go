@@ -9,6 +9,11 @@ type AlgorithmInfo struct {
 	Name        string
 	Algorithm   Algorithm
 	Description string
+	// Budgeted marks detectors with a worst-case exponential phase that is
+	// cut off by an internal budget and can therefore come back
+	// inconclusive — the rungs Options.Degrade applies to. The purely
+	// polynomial rungs always terminate with a definite verdict.
+	Budgeted bool
 }
 
 // algorithmRegistry is the canonical detector registry, in increasing
@@ -17,19 +22,19 @@ type AlgorithmInfo struct {
 // so they cannot drift apart.
 var algorithmRegistry = []AlgorithmInfo{
 	{"naive", AlgoNaive,
-		"CLG cycle detection only (constraint 1): cheapest rung, most false alarms"},
+		"CLG cycle detection only (constraint 1): cheapest rung, most false alarms", false},
 	{"refined", AlgoRefined,
-		"single-head hypotheses with SEQUENCEABLE/COACCEPT/NOT-COEXEC marking (the paper's main algorithm)"},
+		"single-head hypotheses with SEQUENCEABLE/COACCEPT/NOT-COEXEC marking (the paper's main algorithm)", false},
 	{"pairs", AlgoRefinedPairs,
-		"hypothesizes pairs of head nodes in distinct tasks"},
+		"hypothesizes pairs of head nodes in distinct tasks", false},
 	{"head-tail", AlgoRefinedHeadTail,
-		"hypothesizes head-tail node pairs within one task"},
+		"hypothesizes head-tail node pairs within one task", false},
 	{"ht-pairs", AlgoRefinedHeadTailPairs,
-		"hypothesizes two head-tail pairs (k = 2), the paper's strongest polynomial rung"},
+		"hypothesizes two head-tail pairs (k = 2), the paper's strongest polynomial rung", false},
 	{"k-pairs", AlgoRefinedKPairs,
-		"k = 3 head-tail pairs plus an exhaustive budgeted small-cycle phase"},
+		"k = 3 head-tail pairs plus an exhaustive budgeted small-cycle phase", true},
 	{"enumerate", AlgoEnumerate,
-		"budgeted simple-cycle enumeration enforcing constraint 1c exactly: most precise, worst-case exponential"},
+		"budgeted simple-cycle enumeration enforcing constraint 1c exactly: most precise, worst-case exponential", true},
 }
 
 // algorithmsByName indexes the registry by spelling.

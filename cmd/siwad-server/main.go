@@ -15,6 +15,11 @@
 //
 //	-addr HOST:PORT   listen address (default :8080)
 //	-workers N        concurrent analyses (default GOMAXPROCS)
+//	-queue-depth N    admitted analyses that may wait for a worker; beyond
+//	                  it requests are shed with 429 (0 = 4x workers, -1
+//	                  disables waiting)
+//	-limits SPEC      per-analysis resource caps as tasks=N,nodes=N,
+//	                  unrolled=N (any subset), or "off" / "default"
 //	-cache N          result cache entries; 0 default (1024), -1 disables
 //	-max-body N       request body limit in bytes (default 4 MiB)
 //	-max-batch N      programs per batch request (default 256)
@@ -24,6 +29,9 @@
 //	-trace            trace every analysis, feeding the per-stage latency
 //	                  histograms (requests can still opt in per-call)
 //	-pprof            mount net/http/pprof under /debug/pprof/
+//
+// The SIWA_FAULTS environment variable arms fault-injection points for
+// chaos drills ("point:kind[=arg][:every=N];...", see internal/fault).
 //
 // The server drains in-flight requests on SIGINT/SIGTERM and exits 0 on a
 // clean shutdown.
@@ -39,6 +47,8 @@ import (
 	"syscall"
 	"time"
 
+	siwa "repro"
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -51,6 +61,8 @@ func run(args []string) int {
 	fs.SetOutput(os.Stderr)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "admission queue depth before shedding (0 = 4x workers, -1 disables waiting)")
+	limitsSpec := fs.String("limits", "", "per-analysis resource caps: tasks=N,nodes=N,unrolled=N, or off/default (default: default)")
 	cache := fs.Int("cache", 0, "result cache entries (0 = 1024, -1 disables)")
 	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = 4 MiB)")
 	maxBatch := fs.Int("max-batch", 0, "programs per batch request (0 = 256)")
@@ -62,6 +74,18 @@ func run(args []string) int {
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	limits, err := siwa.ParseLimits(*limitsSpec, siwa.DefaultLimits())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "siwad-server: %v\n", err)
+		return 2
+	}
+	if err := fault.InitFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "siwad-server: %v\n", err)
+		return 2
+	}
+	if fault.Active() {
+		fmt.Fprintln(os.Stderr, "siwad-server: WARNING: fault injection armed via SIWA_FAULTS")
 	}
 	var logger *slog.Logger
 	switch *logMode {
@@ -77,6 +101,8 @@ func run(args []string) int {
 	srv := service.New(service.Config{
 		Addr:           *addr,
 		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		Limits:         limits,
 		CacheEntries:   *cache,
 		MaxBodyBytes:   *maxBody,
 		MaxBatch:       *maxBatch,

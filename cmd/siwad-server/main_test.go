@@ -9,6 +9,9 @@ func TestBadFlagExitsTwo(t *testing.T) {
 	if code := run([]string{"-workers", "nope"}); code != 2 {
 		t.Fatalf("exit=%d", code)
 	}
+	if code := run([]string{"-limits", "bogus=1"}); code != 2 {
+		t.Fatalf("exit=%d", code)
+	}
 }
 
 func TestBadAddrExitsOne(t *testing.T) {

@@ -22,6 +22,12 @@
 //	-json           machine-readable output (includes the span tree under
 //	                "trace" when -trace is set)
 //	-max-states N   state cap for -exact and -dot waves (default 1<<20)
+//	-limits SPEC    per-analysis resource caps as tasks=N,nodes=N,unrolled=N
+//	                (any subset), or "default" for the server-side caps;
+//	                unbounded when omitted
+//	-degrade        when the exact explorer hits a deadline or state budget,
+//	                keep the (sound, conservative) polynomial verdicts and
+//	                mark the report DEGRADED instead of failing
 //	-dot KIND       print a Graphviz graph instead of analyzing:
 //	                sync | clg | waves (the Taylor concurrency state graph)
 //
@@ -61,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print the pipeline span tree (per-stage durations and work counters)")
 	anomalyTrace := fs.Bool("anomaly-trace", false, "with the exact explorer, print rendezvous traces to each anomaly (implies -exact)")
 	maxStates := fs.Int("max-states", 1<<20, "state cap for -exact")
+	limitsSpec := fs.String("limits", "", "resource caps: tasks=N,nodes=N,unrolled=N, or default (unbounded when omitted)")
+	degrade := fs.Bool("degrade", false, "degrade to the polynomial verdicts when the exact explorer is cut short")
 	dot := fs.String("dot", "", "emit a Graphviz graph (sync|clg|waves) instead of analyzing")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the text report")
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +83,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !ok {
 		fmt.Fprintf(stderr, "siwad: unknown algorithm %q (valid: %s)\n",
 			*algo, strings.Join(siwa.AlgorithmNames(), ", "))
+		return 2
+	}
+	// Unlike the server, the CLI is unbounded unless asked: analyzing your
+	// own large program locally should not need a flag to opt out of caps.
+	limits, err := siwa.ParseLimits(*limitsSpec, siwa.Limits{})
+	if err != nil {
+		fmt.Fprintf(stderr, "siwad: %v\n", err)
 		return 2
 	}
 
@@ -99,6 +114,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Exact:         *exact || *anomalyTrace,
 			ExactOptions:  waves.Options{MaxStates: *maxStates, Traces: *anomalyTrace},
 			Trace:         *trace,
+			Limits:        limits,
+			Degrade:       *degrade,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "siwad: %s: %v\n", path, err)

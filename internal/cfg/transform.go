@@ -94,6 +94,127 @@ func relabel(ss []lang.Stmt, suffix string) []lang.Stmt {
 	return ss
 }
 
+// ResourceError reports that a transform or analysis would exceed a
+// configured resource limit. It is returned before the offending allocation
+// happens, so callers can reject oversized inputs without paying for them.
+// Actual may saturate at a large sentinel when the true size overflows.
+type ResourceError struct {
+	Resource string // what was bounded ("tasks", "unrolled rendezvous nodes", ...)
+	Limit    int
+	Actual   int
+}
+
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("resource limit exceeded: %s %d > limit %d", e.Resource, e.Actual, e.Limit)
+}
+
+// predictCap saturates size predictions: any value past it is reported as
+// predictCap, keeping the arithmetic overflow-free for arbitrarily deep
+// nests (a 64-deep nest would otherwise overflow int64).
+const predictCap = int64(1) << 40
+
+// PredictUnrolledRendezvous computes, without allocating anything, exactly
+// how many rendezvous statements Unroll would produce for p: each loop
+// doubles its body (or keeps one copy for "loop 1 times"), recursively.
+// Saturates at a large cap instead of overflowing on pathological nests.
+func PredictUnrolledRendezvous(p *lang.Program) int64 {
+	var count func(ss []lang.Stmt) int64
+	count = func(ss []lang.Stmt) int64 {
+		var n int64
+		for _, s := range ss {
+			switch v := s.(type) {
+			case *lang.Send, *lang.Accept:
+				n++
+			case *lang.If:
+				n += count(v.Then) + count(v.Else)
+			case *lang.Loop:
+				body := count(v.Body)
+				if v.Count == 1 {
+					n += body
+				} else {
+					n += 2 * body
+				}
+			}
+			if n >= predictCap {
+				return predictCap
+			}
+		}
+		return n
+	}
+	var total int64
+	for _, t := range p.Tasks {
+		total += count(t.Body)
+		if total >= predictCap {
+			return predictCap
+		}
+	}
+	return total
+}
+
+// PredictExpandedRendezvous computes, without allocating anything, how
+// many rendezvous statements ExpandBounded would produce: bounded loops
+// multiply their body by the iteration count (nests multiply together),
+// while-loops keep one copy. Saturates at a large cap instead of
+// overflowing.
+func PredictExpandedRendezvous(p *lang.Program) int64 {
+	var count func(ss []lang.Stmt) int64
+	count = func(ss []lang.Stmt) int64 {
+		var n int64
+		for _, s := range ss {
+			switch v := s.(type) {
+			case *lang.Send, *lang.Accept:
+				n++
+			case *lang.If:
+				n += count(v.Then) + count(v.Else)
+			case *lang.Loop:
+				body := count(v.Body)
+				mult := int64(1)
+				if v.Count > 0 {
+					mult = int64(v.Count)
+				}
+				if body > 0 && mult > predictCap/body {
+					return predictCap
+				}
+				n += mult * body
+			}
+			if n >= predictCap {
+				return predictCap
+			}
+		}
+		return n
+	}
+	var total int64
+	for _, t := range p.Tasks {
+		total += count(t.Body)
+		if total >= predictCap {
+			return predictCap
+		}
+	}
+	return total
+}
+
+// UnrollBounded is Unroll guarded by a rendezvous-node budget: when the
+// twice-unrolled program would contain more than maxRendezvous rendezvous
+// statements, it returns a *ResourceError without performing the unroll
+// (the 2^depth blowup of a nested-loop bomb is predicted, not suffered).
+// maxRendezvous <= 0 means unlimited, i.e. plain Unroll.
+func UnrollBounded(p *lang.Program, maxRendezvous int) (*lang.Program, error) {
+	if maxRendezvous > 0 {
+		if n := PredictUnrolledRendezvous(p); n > int64(maxRendezvous) {
+			actual := int(n)
+			if n >= predictCap {
+				actual = int(predictCap)
+			}
+			return nil, &ResourceError{
+				Resource: "unrolled rendezvous nodes",
+				Limit:    maxRendezvous,
+				Actual:   actual,
+			}
+		}
+	}
+	return Unroll(p), nil
+}
+
 // ExpandBounded fully expands every "loop n times" into n sequential copies
 // of its body (innermost first), leaving while-loops untouched. The exact
 // wave explorer uses this so that bounded iteration counts are honored

@@ -1,0 +1,166 @@
+package cfg
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/workload"
+)
+
+// TestPredictUnrolledMatchesUnroll checks the predictor against the real
+// transform on shapes where running Unroll is affordable: the predicted
+// rendezvous count must equal the actual one exactly.
+func TestPredictUnrolledMatchesUnroll(t *testing.T) {
+	programs := map[string]*lang.Program{
+		"nested3":  workload.NestedLoops(3, 2),
+		"nested6":  workload.NestedLoops(6, 3),
+		"pipeline": workload.Pipeline(4, 3),
+		"ring":     workload.Ring(5),
+		"countOne": lang.MustParse(`
+task a is
+begin
+  loop 1 times
+    b.m;
+  end loop;
+end;
+task b is
+begin
+  accept m;
+end;
+`),
+		"bounded": lang.MustParse(`
+task a is
+begin
+  loop 5 times
+    b.m;
+    if c then accept r; end if;
+  end loop;
+end;
+task b is
+begin
+  accept m;
+  a.r;
+end;
+`),
+	}
+	for name, p := range programs {
+		predicted := PredictUnrolledRendezvous(p)
+		actual := int64(countRendezvous(Unroll(p)))
+		if predicted != actual {
+			t.Errorf("%s: predicted %d, Unroll produced %d", name, predicted, actual)
+		}
+	}
+}
+
+func countRendezvous(p *lang.Program) int {
+	var count func(ss []lang.Stmt) int
+	count = func(ss []lang.Stmt) int {
+		n := 0
+		for _, s := range ss {
+			switch v := s.(type) {
+			case *lang.Send, *lang.Accept:
+				n++
+			case *lang.If:
+				n += count(v.Then) + count(v.Else)
+			case *lang.Loop:
+				n += count(v.Body)
+			}
+		}
+		return n
+	}
+	n := 0
+	for _, tk := range p.Tasks {
+		n += count(tk.Body)
+	}
+	return n
+}
+
+// TestUnrollBoundedRefusesDeepNest is the regression test for the 2^depth
+// unroll bomb: a 20-deep nest predicts ~2^21 rendezvous nodes, and
+// UnrollBounded must refuse it with a typed *ResourceError without
+// materializing the blowup (this test runs in microseconds precisely
+// because nothing is allocated).
+func TestUnrollBoundedRefusesDeepNest(t *testing.T) {
+	bomb := workload.NestedLoops(20, 2)
+	predicted := PredictUnrolledRendezvous(bomb)
+	if predicted < 1<<20 {
+		t.Fatalf("predicted %d; the bomb is not a bomb", predicted)
+	}
+	_, err := UnrollBounded(bomb, 1<<18)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("err=%v, want *ResourceError", err)
+	}
+	if re.Resource != "unrolled rendezvous nodes" || re.Limit != 1<<18 {
+		t.Fatalf("resource error: %+v", re)
+	}
+	if int64(re.Actual) != predicted {
+		t.Fatalf("Actual=%d, predicted=%d", re.Actual, predicted)
+	}
+}
+
+// TestUnrollBoundedSaturates drives a nest deep enough to overflow naive
+// int64 arithmetic (2^70 copies) and checks the predictor saturates at
+// its cap instead of wrapping around into a small (admitting!) value.
+func TestUnrollBoundedSaturates(t *testing.T) {
+	bomb := workload.NestedLoops(70, 2)
+	if got := PredictUnrolledRendezvous(bomb); got != predictCap {
+		t.Fatalf("predicted %d, want saturation at %d", got, predictCap)
+	}
+	if _, err := UnrollBounded(bomb, 1<<18); err == nil {
+		t.Fatal("saturated bomb was admitted")
+	}
+}
+
+// TestUnrollBoundedUnlimited checks that a non-positive budget means
+// plain Unroll.
+func TestUnrollBoundedUnlimited(t *testing.T) {
+	p := workload.NestedLoops(3, 2)
+	u, err := UnrollBounded(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := countRendezvous(u), countRendezvous(Unroll(p)); got != want {
+		t.Fatalf("unlimited UnrollBounded produced %d rendezvous, Unroll %d", got, want)
+	}
+}
+
+// TestUnrollBoundedAdmitsWithinBudget checks that a program under the
+// budget unrolls normally.
+func TestUnrollBoundedAdmitsWithinBudget(t *testing.T) {
+	p := workload.NestedLoops(4, 2)
+	u, err := UnrollBounded(p, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasLoops(u) {
+		t.Fatal("bounded unroll left loops behind")
+	}
+}
+
+// TestPredictExpandedRendezvous checks the exact-path predictor: bounded
+// loops multiply, while-loops count once, and nests multiply together.
+func TestPredictExpandedRendezvous(t *testing.T) {
+	p := lang.MustParse(`
+task a is
+begin
+  loop 3 times
+    loop 4 times
+      b.m;
+    end loop;
+  end loop;
+  while w loop
+    accept r;
+  end loop;
+end;
+task b is
+begin
+  accept m;
+end;
+`)
+	// 3*4 sends + 1 accept in the while + 1 accept in b.
+	if got := PredictExpandedRendezvous(p); got != 14 {
+		t.Fatalf("predicted %d, want 14", got)
+	}
+}

@@ -1,0 +1,229 @@
+// Package fault is a zero-dependency failure-injection registry for chaos
+// testing the analysis pipeline and the HTTP service. Code under test calls
+// Inject at named failure points; the call is a single atomic load (and
+// therefore free) unless injection has been armed, either by a test calling
+// Set, or by the SIWA_FAULTS environment variable via InitFromEnv.
+//
+// A point can panic, sleep, or return an error, and can be sampled (fire on
+// every Nth hit) so chaos tests can poison a deterministic fraction of
+// traffic. Points that were never registered are always no-ops, so
+// production binaries pay one atomic bool per call site and nothing else.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind selects what an armed failure point does when it fires.
+type Kind int
+
+const (
+	// KindPanic panics with a recognizable value carrying the point name.
+	KindPanic Kind = iota
+	// KindDelay sleeps for Mode.Delay, simulating a slow dependency.
+	KindDelay
+	// KindError returns Mode.Err (or a generic injected error when nil).
+	KindError
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindError:
+		return "error"
+	}
+	return "?"
+}
+
+// Mode configures one failure point.
+type Mode struct {
+	Kind Kind
+	// Delay is the sleep duration for KindDelay.
+	Delay time.Duration
+	// Err is returned by KindError points; nil means a generic error
+	// naming the point.
+	Err error
+	// Every samples the point: it fires on hit numbers divisible by Every.
+	// 0 or 1 fires on every hit; 10 fires on 10% of hits, deterministically.
+	Every int
+}
+
+// Injected is the panic value of a KindPanic point, so recovery layers can
+// tell an injected panic from a real one in test assertions.
+type Injected struct{ Point string }
+
+func (i Injected) String() string { return "injected fault at " + i.Point }
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	points  map[string]*point
+)
+
+type point struct {
+	mode Mode
+	hits atomic.Uint64
+}
+
+// Set arms the named failure point and enables injection globally.
+func Set(name string, m Mode) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = map[string]*point{}
+	}
+	points[name] = &point{mode: m}
+	enabled.Store(true)
+}
+
+// Clear disarms one point; other points stay armed.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+	if len(points) == 0 {
+		enabled.Store(false)
+	}
+}
+
+// Reset disarms every point and disables injection. Tests should defer it.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = nil
+	enabled.Store(false)
+}
+
+// Active reports whether any failure point is armed.
+func Active() bool { return enabled.Load() }
+
+// Hits reports how many times the named point has been reached (not how
+// many times it fired), for test accounting. 0 for unknown points.
+func Hits(name string) uint64 {
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// Inject triggers the named failure point. Disabled or unregistered points
+// return nil immediately; armed points panic, sleep, or return an error
+// according to their Mode (subject to Every-N sampling).
+func Inject(name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	n := p.hits.Add(1)
+	every := p.mode.Every
+	if every < 1 {
+		every = 1
+	}
+	if n%uint64(every) != 0 {
+		return nil
+	}
+	switch p.mode.Kind {
+	case KindPanic:
+		panic(Injected{Point: name})
+	case KindDelay:
+		time.Sleep(p.mode.Delay)
+		return nil
+	case KindError:
+		if p.mode.Err != nil {
+			return p.mode.Err
+		}
+		return errors.New("injected fault at " + name)
+	}
+	return nil
+}
+
+// InitFromEnv arms failure points from the SIWA_FAULTS environment
+// variable, the production escape hatch for game days. The spec is a
+// semicolon-separated list of point specs:
+//
+//	point:panic[:every=N]
+//	point:delay=DUR[:every=N]
+//	point:error[=MESSAGE][:every=N]
+//
+// e.g. SIWA_FAULTS="analyze.detect:panic:every=10;service.analyze:delay=50ms".
+// An empty or unset variable is a no-op; a malformed spec returns an error
+// and arms nothing.
+func InitFromEnv() error {
+	spec := os.Getenv("SIWA_FAULTS")
+	if spec == "" {
+		return nil
+	}
+	return ParseSpec(spec)
+}
+
+// ParseSpec parses and arms an SIWA_FAULTS-format spec. See InitFromEnv.
+func ParseSpec(spec string) error {
+	type parsed struct {
+		name string
+		mode Mode
+	}
+	var all []parsed
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 {
+			return fmt.Errorf("fault: spec %q: want point:kind[...]", entry)
+		}
+		p := parsed{name: parts[0]}
+		kind, arg, _ := strings.Cut(parts[1], "=")
+		switch kind {
+		case "panic":
+			p.mode.Kind = KindPanic
+		case "delay":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return fmt.Errorf("fault: spec %q: bad delay: %v", entry, err)
+			}
+			p.mode.Kind, p.mode.Delay = KindDelay, d
+		case "error":
+			p.mode.Kind = KindError
+			if arg != "" {
+				p.mode.Err = errors.New(arg)
+			}
+		default:
+			return fmt.Errorf("fault: spec %q: unknown kind %q (panic, delay, error)", entry, kind)
+		}
+		for _, opt := range parts[2:] {
+			k, v, _ := strings.Cut(opt, "=")
+			if k != "every" {
+				return fmt.Errorf("fault: spec %q: unknown option %q", entry, k)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("fault: spec %q: bad every=%q", entry, v)
+			}
+			p.mode.Every = n
+		}
+		all = append(all, p)
+	}
+	for _, p := range all {
+		Set(p.name, p.mode)
+	}
+	return nil
+}

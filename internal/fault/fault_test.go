@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("active with nothing armed")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("disabled inject: %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	defer Reset()
+	want := errors.New("boom")
+	Set("p", Mode{Kind: KindError, Err: want})
+	if err := Inject("p"); !errors.Is(err, want) {
+		t.Fatalf("err=%v", err)
+	}
+	// Unregistered points stay clean while others are armed.
+	if err := Inject("other"); err != nil {
+		t.Fatalf("other: %v", err)
+	}
+	Set("q", Mode{Kind: KindError})
+	if err := Inject("q"); err == nil || err.Error() != "injected fault at q" {
+		t.Fatalf("generic err=%v", err)
+	}
+}
+
+func TestPanicModeCarriesPointName(t *testing.T) {
+	defer Reset()
+	Set("p", Mode{Kind: KindPanic})
+	defer func() {
+		v := recover()
+		inj, ok := v.(Injected)
+		if !ok || inj.Point != "p" {
+			t.Fatalf("recovered %#v", v)
+		}
+	}()
+	Inject("p")
+	t.Fatal("did not panic")
+}
+
+func TestDelayMode(t *testing.T) {
+	defer Reset()
+	Set("p", Mode{Kind: KindDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("did not delay")
+	}
+}
+
+func TestEverySampling(t *testing.T) {
+	defer Reset()
+	Set("p", Mode{Kind: KindError, Every: 10})
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if Inject("p") != nil {
+			fired++
+		}
+	}
+	if fired != 10 {
+		t.Fatalf("fired %d of 100, want 10", fired)
+	}
+	if Hits("p") != 100 {
+		t.Fatalf("hits=%d", Hits("p"))
+	}
+}
+
+func TestClearAndReset(t *testing.T) {
+	Set("a", Mode{Kind: KindError})
+	Set("b", Mode{Kind: KindError})
+	Clear("a")
+	if Inject("a") != nil {
+		t.Fatal("cleared point still fires")
+	}
+	if Inject("b") == nil {
+		t.Fatal("sibling point disarmed by Clear")
+	}
+	Reset()
+	if Active() || Inject("b") != nil {
+		t.Fatal("reset did not disarm")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	defer Reset()
+	err := ParseSpec("a:panic:every=10; b:delay=5ms ;c:error=kaput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Active() {
+		t.Fatal("not armed")
+	}
+	if err := Inject("c"); err == nil || err.Error() != "kaput" {
+		t.Fatalf("c: %v", err)
+	}
+	for i := 0; i < 9; i++ {
+		Inject("a") // hits 1..9: sampled out
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("10th hit did not panic")
+			}
+		}()
+		Inject("a")
+	}()
+
+	for _, bad := range []string{
+		"nokind",
+		"a:explode",
+		"a:delay=notaduration",
+		"a:panic:often=2",
+		"a:panic:every=0",
+	} {
+		Reset()
+		if err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+		if Active() {
+			t.Errorf("spec %q armed points despite error", bad)
+		}
+	}
+}
+
+func TestInitFromEnv(t *testing.T) {
+	defer Reset()
+	t.Setenv("SIWA_FAULTS", "")
+	if err := InitFromEnv(); err != nil || Active() {
+		t.Fatalf("empty env: err=%v active=%v", err, Active())
+	}
+	t.Setenv("SIWA_FAULTS", "x:error")
+	if err := InitFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if Inject("x") == nil {
+		t.Fatal("env-armed point did not fire")
+	}
+}

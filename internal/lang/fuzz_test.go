@@ -1,9 +1,32 @@
 package lang
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// addCorpusSeeds feeds every checked-in example program (the repo-root
+// testdata/*.ada corpus) to a fuzz target, so fuzzing starts from real
+// programs exercising every construct, not just the inline snippets.
+func addCorpusSeeds(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.ada"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no testdata seeds found")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
 
 // FuzzParse checks that the parser never panics, and that accepted
 // programs survive a print/reparse round trip with identical structure.
@@ -29,6 +52,7 @@ func FuzzParse(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
+	addCorpusSeeds(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(src)
 		if err != nil {

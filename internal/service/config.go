@@ -10,6 +10,8 @@ import (
 	"log/slog"
 	"runtime"
 	"time"
+
+	siwa "repro"
 )
 
 // Config shapes a Server. The zero value is not usable directly; call
@@ -20,6 +22,17 @@ type Config struct {
 	// Workers bounds the number of analyses executing at once, across all
 	// requests (single and batch). 0 means GOMAXPROCS.
 	Workers int
+	// QueueDepth bounds how many admitted analyses may wait for a worker
+	// slot; beyond it requests are shed with HTTP 429 and a Retry-After
+	// header instead of queueing without bound. 0 means 4x Workers;
+	// negative means no waiting (run immediately or shed).
+	QueueDepth int
+	// Limits bounds each analysis (task count, parsed rendezvous nodes,
+	// unrolled rendezvous nodes); inputs that would exceed them get a
+	// structured resource_limit error instead of unbounded work. The zero
+	// value means siwa.DefaultLimits(); set fields negative to lift
+	// individual limits.
+	Limits siwa.Limits
 	// CacheEntries caps the result cache. 0 means 1024; negative disables
 	// caching entirely (every request is analyzed from scratch).
 	CacheEntries int
@@ -60,6 +73,14 @@ func (c Config) Normalize() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		// Negative stays negative (NewPool clamps it to an empty queue),
+		// keeping Normalize idempotent.
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.Limits == (siwa.Limits{}) {
+		c.Limits = siwa.DefaultLimits()
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	siwa "repro"
+	"repro/internal/fault"
 	"repro/internal/waves"
 )
 
@@ -28,6 +29,12 @@ type WireOptions struct {
 	Exact          bool   `json:"exact,omitempty"`
 	// MaxStates caps the exact explorer's state count (0 = 1<<20).
 	MaxStates int `json:"maxStates,omitempty"`
+	// Degrade asks for graceful degradation: when an exact or enumeration
+	// stage hits its deadline or budget, the response is still HTTP 200
+	// carrying the polynomial verdict with "degraded": true instead of a
+	// timeout error. The fallback is sound — the polynomial detectors are
+	// conservative, so their verdicts stand on their own.
+	Degrade bool `json:"degrade,omitempty"`
 }
 
 // resolve maps wire options onto library options. A nil receiver is the
@@ -55,6 +62,7 @@ func (wo *WireOptions) resolve() (siwa.Options, error) {
 	opt.FIFO = wo.FIFO
 	opt.Exact = wo.Exact
 	opt.ExactOptions = waves.Options{MaxStates: wo.MaxStates}
+	opt.Degrade = wo.Degrade
 	return opt, nil
 }
 
@@ -97,22 +105,20 @@ type BatchRequest struct {
 	TimeoutMs int64          `json:"timeoutMs,omitempty"`
 }
 
-// BatchResult is one program's outcome, in request order.
+// BatchResult is one program's outcome, in request order. ErrorCode
+// carries the taxonomy code for Error (additive; absent on success).
 type BatchResult struct {
-	ID     string          `json:"id,omitempty"`
-	Report json.RawMessage `json:"report,omitempty"`
-	Cached bool            `json:"cached"`
-	Error  string          `json:"error,omitempty"`
+	ID        string          `json:"id,omitempty"`
+	Report    json.RawMessage `json:"report,omitempty"`
+	Cached    bool            `json:"cached"`
+	Error     string          `json:"error,omitempty"`
+	ErrorCode string          `json:"errorCode,omitempty"`
 }
 
 // BatchResponse is the POST /v1/analyze/batch success body.
 type BatchResponse struct {
 	Results   []BatchResult `json:"results"`
 	ElapsedMs float64       `json:"elapsedMs"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -123,26 +129,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+func (s *Server) writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
 	s.metrics.Errors.Add(1)
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorResponse{Error: ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 // decodeBody decodes the request body into v under the configured size
-// limit, reporting (status, error) on failure.
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+// limit, reporting (status, code, error) on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, string, error) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return http.StatusRequestEntityTooLarge,
+			return http.StatusRequestEntityTooLarge, CodeTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
 		}
-		return http.StatusBadRequest, fmt.Errorf("invalid request body: %v", err)
+		return http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Errorf("invalid request body: %v", err)
 	}
-	return 0, nil
+	return 0, "", nil
 }
 
 func isCancellation(err error) bool {
@@ -185,12 +195,24 @@ func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options
 		return analyzeOutcome{report: res.Report, verdict: res.Verdict, cached: true}, nil
 	}
 	opt.Trace = wantTrace || s.cfg.TraceAll
+	// Limits and Degrade are service policy, not part of the content
+	// address: limits only turn requests into errors (never cached), and
+	// degraded reports are timing-dependent (also never cached).
+	opt.Limits = s.cfg.Limits
 	var out analyzeOutcome
 	var runErr error
 	err := s.pool.Do(ctx, func() {
+		if ferr := fault.Inject("service.analyze"); ferr != nil {
+			runErr = &codedError{http.StatusInternalServerError, CodeInternal, ferr}
+			return
+		}
 		prog, err := siwa.Parse(source)
 		if err != nil {
-			runErr = err
+			if isInternal(err) {
+				runErr = err
+			} else {
+				runErr = &codedError{http.StatusUnprocessableEntity, CodeParseError, err}
+			}
 			return
 		}
 		rep, err := siwa.AnalyzeContext(ctx, prog, opt)
@@ -201,6 +223,9 @@ func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options
 		s.metrics.Analyses.Add(1)
 		if !rep.DeadlockFree() || !rep.Stall.StallFree() {
 			s.metrics.Anomalous.Add(1)
+		}
+		if rep.Degraded {
+			s.metrics.Degraded.Add(1)
 		}
 		s.metrics.ObserveSpans(rep.Trace)
 		// The cached report must be identical for traced and untraced
@@ -218,17 +243,33 @@ func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options
 		if wantTrace {
 			out.trace = traceJSON
 		}
-		s.cache.Put(key, CachedResult{Report: b, Verdict: out.verdict})
+		if !rep.Degraded {
+			// A degraded report reflects this run's deadline, not the
+			// program: a retry with more headroom deserves the full result.
+			s.cache.Put(key, CachedResult{Report: b, Verdict: out.verdict})
+		}
 	})
 	if err != nil {
-		// Pool admission lost the race against the deadline: the analysis
-		// never started.
+		// Pool admission shed the request or lost the race against the
+		// deadline: the analysis never started.
 		return analyzeOutcome{}, err
 	}
 	if runErr != nil {
+		if isInternal(runErr) {
+			// A pipeline stage panicked and was contained by the library's
+			// per-stage recovery; count it so /metrics accounts for every
+			// panic the process survived.
+			s.metrics.Panics.Add(1)
+		}
 		return analyzeOutcome{}, runErr
 	}
 	return out, nil
+}
+
+// isInternal reports whether err is (or wraps) a contained panic.
+func isInternal(err error) bool {
+	var ie *siwa.InternalError
+	return errors.As(err, &ie)
 }
 
 // logRequest emits one structured record per request when logging is
@@ -260,34 +301,33 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.metrics.ObserveRequest("analyze", time.Since(start)) }()
 	id := s.nextRequestID()
 	var req AnalyzeRequest
-	if status, err := s.decodeBody(w, r, &req); err != nil {
-		s.writeError(w, status, "%v", err)
+	if status, code, err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, status, code, "%v", err)
 		s.logRequest(r, id, "analyze", status, start, slog.String("error", err.Error()))
 		return
 	}
 	if req.Source == "" {
-		s.writeError(w, http.StatusBadRequest, "missing source")
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "missing source")
 		s.logRequest(r, id, "analyze", http.StatusBadRequest, start, slog.String("error", "missing source"))
 		return
 	}
 	opt, err := req.Options.resolve()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
 		s.logRequest(r, id, "analyze", http.StatusBadRequest, start, slog.String("error", err.Error()))
 		return
 	}
 	algo := opt.Algorithm.String()
 	d, err := s.cfg.timeoutFor(req.TimeoutMs)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
 		s.logRequest(r, id, "analyze", http.StatusBadRequest, start, slog.String("error", err.Error()))
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	out, err := s.analyzeOne(ctx, req.Source, opt, req.Trace)
-	switch {
-	case err == nil:
+	if err == nil {
 		writeJSON(w, http.StatusOK, AnalyzeResponse{
 			Report:    out.report,
 			Cached:    out.cached,
@@ -298,18 +338,29 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			slog.String("algorithm", algo),
 			slog.Bool("cached", out.cached),
 			slog.String("verdict", out.verdict))
-	case isCancellation(err):
+		return
+	}
+	status, code := classify(err)
+	msg := err.Error()
+	switch code {
+	case CodeTimeout:
+		// Timeouts and sheds are load conditions, not client errors: they
+		// count under their own metrics, not siwa_request_errors_total.
 		s.metrics.Timeouts.Add(1)
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable,
-			errorResponse{Error: fmt.Sprintf("analysis aborted: %v", err)})
-		s.logRequest(r, id, "analyze", http.StatusServiceUnavailable, start,
-			slog.String("algorithm", algo), slog.String("error", err.Error()))
+		msg = fmt.Sprintf("analysis aborted: %v", err)
+		writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg}})
+	case CodeShed:
+		s.metrics.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg}})
 	default:
-		s.writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		s.logRequest(r, id, "analyze", http.StatusUnprocessableEntity, start,
-			slog.String("algorithm", algo), slog.String("error", err.Error()))
+		s.writeError(w, status, code, "%s", msg)
 	}
+	s.logRequest(r, id, "analyze", status, start,
+		slog.String("algorithm", algo),
+		slog.String("code", code),
+		slog.String("error", err.Error()))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -320,25 +371,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.metrics.ObserveRequest("batch", time.Since(start)) }()
 	id := s.nextRequestID()
 	var req BatchRequest
-	if status, err := s.decodeBody(w, r, &req); err != nil {
-		s.writeError(w, status, "%v", err)
+	if status, code, err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, status, code, "%v", err)
 		s.logRequest(r, id, "batch", status, start, slog.String("error", err.Error()))
 		return
 	}
 	if len(req.Programs) == 0 {
-		s.writeError(w, http.StatusBadRequest, "empty batch")
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "empty batch")
 		s.logRequest(r, id, "batch", http.StatusBadRequest, start, slog.String("error", "empty batch"))
 		return
 	}
 	if len(req.Programs) > s.cfg.MaxBatch {
-		s.writeError(w, http.StatusBadRequest,
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest,
 			"batch of %d exceeds limit %d", len(req.Programs), s.cfg.MaxBatch)
 		s.logRequest(r, id, "batch", http.StatusBadRequest, start, slog.String("error", "batch too large"))
 		return
 	}
 	d, err := s.cfg.timeoutFor(req.TimeoutMs)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
 		s.logRequest(r, id, "batch", http.StatusBadRequest, start, slog.String("error", err.Error()))
 		return
 	}
@@ -347,11 +398,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	results := make([]BatchResult, len(req.Programs))
 	var wg sync.WaitGroup
+	// Trickle items into the pool instead of flooding it: at most
+	// pool-size items from this batch are in admission at once, so a lone
+	// large batch never exhausts the queue and sheds itself; only genuine
+	// cross-request overload does.
+	tickets := make(chan struct{}, s.pool.Size())
 	for i, p := range req.Programs {
 		res := &results[i]
 		res.ID = p.ID
 		if p.Source == "" {
 			res.Error = "missing source"
+			res.ErrorCode = CodeInvalidRequest
 			s.metrics.BatchItems[BatchError].Add(1)
 			continue
 		}
@@ -362,21 +419,41 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		opt, err := wo.resolve()
 		if err != nil {
 			res.Error = err.Error()
+			res.ErrorCode = CodeInvalidRequest
 			s.metrics.BatchItems[BatchError].Add(1)
 			continue
 		}
+		tickets <- struct{}{}
 		wg.Add(1)
 		go func(source string, opt siwa.Options, res *BatchResult) {
 			defer wg.Done()
+			defer func() { <-tickets }()
+			// Panics in a batch goroutine bypass the HTTP recovery
+			// middleware (that runs on the request goroutine) and would
+			// kill the process: contain them per item.
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.metrics.Panics.Add(1)
+					s.metrics.BatchItems[BatchError].Add(1)
+					res.Error = fmt.Sprintf("internal error: %v", rec)
+					res.ErrorCode = CodeInternal
+				}
+			}()
 			out, err := s.analyzeOne(ctx, source, opt, false)
 			if err != nil {
-				if isCancellation(err) {
+				_, code := classify(err)
+				switch code {
+				case CodeTimeout:
 					s.metrics.Timeouts.Add(1)
 					s.metrics.BatchItems[BatchTimeout].Add(1)
-				} else {
+				case CodeShed:
+					s.metrics.Shed.Add(1)
+					s.metrics.BatchItems[BatchShed].Add(1)
+				default:
 					s.metrics.BatchItems[BatchError].Add(1)
 				}
 				res.Error = err.Error()
+				res.ErrorCode = code
 				return
 			}
 			if out.cached {

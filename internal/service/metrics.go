@@ -20,11 +20,12 @@ const (
 	BatchCached
 	BatchError
 	BatchTimeout
+	BatchShed // rejected by the admission queue
 	numBatchOutcomes
 )
 
 // batchOutcomeNames are the label values, indexed by BatchOutcome.
-var batchOutcomeNames = [numBatchOutcomes]string{"ok", "cached", "error", "timeout"}
+var batchOutcomeNames = [numBatchOutcomes]string{"ok", "cached", "error", "timeout", "shed"}
 
 // Metrics holds the service counters and latency histograms, exported by
 // GET /metrics in the Prometheus text exposition format (hand-rolled; the
@@ -36,6 +37,9 @@ type Metrics struct {
 	Anomalous       atomic.Uint64 // completed analyses that found an anomaly
 	Timeouts        atomic.Uint64 // analyses aborted by deadline or disconnect
 	Errors          atomic.Uint64 // requests rejected (parse, validation, body size)
+	Shed            atomic.Uint64 // analyses rejected because the admission queue was full
+	Panics          atomic.Uint64 // panics recovered (pipeline stages, handlers, batch items)
+	Degraded        atomic.Uint64 // analyses that fell back to the polynomial verdict
 	InFlight        atomic.Int64  // requests currently being served
 
 	// BatchItems counts per-program outcomes inside batch requests,
@@ -115,6 +119,9 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool) {
 	counter("siwa_anomalous_total", "analyses that reported a possible deadlock or stall", m.Anomalous.Load())
 	counter("siwa_timeouts_total", "analyses aborted by deadline or client disconnect", m.Timeouts.Load())
 	counter("siwa_request_errors_total", "requests rejected before analysis", m.Errors.Load())
+	counter("siwa_shed_total", "analyses rejected because the admission queue was full", m.Shed.Load())
+	counter("siwa_panics_total", "panics recovered in pipeline stages, handlers, or batch items", m.Panics.Load())
+	counter("siwa_degraded_total", "analyses that fell back to the polynomial verdict", m.Degraded.Load())
 	fmt.Fprintf(w, "# HELP siwa_batch_items_total per-program outcomes inside batch requests\n# TYPE siwa_batch_items_total counter\n")
 	for i, name := range batchOutcomeNames {
 		fmt.Fprintf(w, "siwa_batch_items_total{outcome=%q} %d\n", name, m.BatchItems[i].Load())
@@ -126,6 +133,8 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool) {
 	gauge("siwa_inflight_requests", "requests currently being served", m.InFlight.Load())
 	gauge("siwa_workers", "worker pool concurrency bound", int64(pool.Size()))
 	gauge("siwa_workers_busy", "worker pool slots in use", int64(pool.InFlight()))
+	gauge("siwa_queue_depth", "admission queue capacity", int64(pool.QueueDepth()))
+	gauge("siwa_queued", "admitted analyses waiting for a worker slot", int64(pool.Queued()))
 
 	fmt.Fprintf(w, "# HELP siwa_http_request_seconds request wall time by endpoint\n# TYPE siwa_http_request_seconds histogram\n")
 	for _, ep := range []string{"analyze", "batch"} {

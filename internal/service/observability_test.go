@@ -59,6 +59,9 @@ func TestMetricsExposition(t *testing.T) {
 		"siwa_anomalous_total":       "counter",
 		"siwa_timeouts_total":        "counter",
 		"siwa_request_errors_total":  "counter",
+		"siwa_shed_total":            "counter",
+		"siwa_panics_total":          "counter",
+		"siwa_degraded_total":        "counter",
 		"siwa_batch_items_total":     "counter",
 		"siwa_cache_hits_total":      "counter",
 		"siwa_cache_misses_total":    "counter",
@@ -67,6 +70,8 @@ func TestMetricsExposition(t *testing.T) {
 		"siwa_inflight_requests":     "gauge",
 		"siwa_workers":               "gauge",
 		"siwa_workers_busy":          "gauge",
+		"siwa_queue_depth":           "gauge",
+		"siwa_queued":                "gauge",
 		"siwa_http_request_seconds":  "histogram",
 		"siwa_analyze_stage_seconds": "histogram",
 	}
@@ -82,8 +87,8 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 
-	// All four batch outcome series are pre-registered, even at zero.
-	for _, outcome := range []string{"ok", "cached", "error", "timeout"} {
+	// All batch outcome series are pre-registered, even at zero.
+	for _, outcome := range []string{"ok", "cached", "error", "timeout", "shed"} {
 		if !strings.Contains(body, fmt.Sprintf("siwa_batch_items_total{outcome=%q}", outcome)) {
 			t.Errorf("batch outcome %q not exported", outcome)
 		}

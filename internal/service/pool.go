@@ -1,22 +1,41 @@
 package service
 
-import "context"
+import (
+	"context"
+	"errors"
+)
 
-// Pool bounds the number of analyses running at once. Admission is
-// semaphore-based: Do blocks until a slot frees or the caller's context
-// expires, so a burst of requests queues instead of oversubscribing the
-// CPU, and a queued request that hits its deadline leaves without ever
-// starting work.
+// ErrShed reports that the admission queue was full: the request was
+// rejected without waiting, so the client should back off and retry.
+// Handlers map it to HTTP 429 with a Retry-After header.
+var ErrShed = errors.New("server overloaded: admission queue full")
+
+// Pool bounds the number of analyses running at once and how many may
+// wait for a slot. Admission is two-stage: a request first claims a
+// queue token (failing immediately with ErrShed when the queue is full,
+// so overload degrades into fast 429s instead of unbounded waiting),
+// then blocks for a worker slot until the caller's context expires. A
+// queued request that hits its deadline leaves without ever starting
+// work, and its verdict is "timeout", never "shed" — it was admitted.
 type Pool struct {
-	sem chan struct{}
+	sem   chan struct{} // worker slots
+	queue chan struct{} // tokens for requests waiting on sem
 }
 
-// NewPool returns a pool running at most n tasks concurrently (n >= 1).
-func NewPool(n int) *Pool {
+// NewPool returns a pool running at most n tasks concurrently (n >= 1),
+// with at most queueDepth further tasks waiting for a slot. queueDepth 0
+// means no waiting: a request either starts immediately or is shed.
+func NewPool(n, queueDepth int) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	return &Pool{sem: make(chan struct{}, n)}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Pool{
+		sem:   make(chan struct{}, n),
+		queue: make(chan struct{}, queueDepth),
+	}
 }
 
 // Size reports the concurrency bound.
@@ -25,21 +44,47 @@ func (p *Pool) Size() int { return cap(p.sem) }
 // InFlight reports how many tasks hold a slot right now.
 func (p *Pool) InFlight() int { return len(p.sem) }
 
+// QueueDepth reports the admission queue capacity.
+func (p *Pool) QueueDepth() int { return cap(p.queue) }
+
+// Queued reports how many admitted tasks are waiting for a slot.
+func (p *Pool) Queued() int { return len(p.queue) }
+
 // Do runs fn on the caller's goroutine once a slot is free. It returns
-// ctx.Err() without running fn when the context expires first; fn itself
-// is responsible for observing ctx (siwa.AnalyzeContext does).
+// ErrShed without waiting when every slot is busy and the queue is full,
+// and ctx.Err() without running fn when the context expires first (even
+// if a slot frees at the same instant); fn itself is responsible for
+// observing ctx (siwa.AnalyzeContext does).
 func (p *Pool) Do(ctx context.Context, fn func()) error {
 	// Prefer the context when both are ready, so an already-expired
 	// deadline never sneaks past a momentarily free slot.
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// Fast path: a slot is free right now.
 	select {
 	case p.sem <- struct{}{}:
-	case <-ctx.Done():
-		return ctx.Err()
+	default:
+		// All slots busy: claim a queue token or shed.
+		select {
+		case p.queue <- struct{}{}:
+		default:
+			return ErrShed
+		}
+		select {
+		case p.sem <- struct{}{}:
+			<-p.queue
+		case <-ctx.Done():
+			<-p.queue
+			return ctx.Err()
+		}
 	}
 	defer func() { <-p.sem }()
+	// The wait for a slot may have outlived the deadline: an expired
+	// request must report timeout, not occupy a worker.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fn()
 	return nil
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestPoolBoundsConcurrency(t *testing.T) {
-	p := NewPool(3)
+	p := NewPool(3, 32)
 	var running, peak atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < 20; i++ {
@@ -40,7 +40,7 @@ func TestPoolBoundsConcurrency(t *testing.T) {
 }
 
 func TestPoolQueuedRequestHonorsDeadline(t *testing.T) {
-	p := NewPool(1)
+	p := NewPool(1, 4)
 	release := make(chan struct{})
 	started := make(chan struct{})
 	go p.Do(context.Background(), func() {
@@ -62,10 +62,67 @@ func TestPoolQueuedRequestHonorsDeadline(t *testing.T) {
 }
 
 func TestPoolExpiredContextNeverRuns(t *testing.T) {
-	p := NewPool(4)
+	p := NewPool(4, 4)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if err := p.Do(ctx, func() { t.Fatal("ran") }); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err=%v", err)
+	}
+}
+
+// TestPoolShedsWhenQueueFull fills the single worker slot and the whole
+// queue, then requires the next request to fail fast with ErrShed — and a
+// request arriving after the queue drains to succeed again.
+func TestPoolShedsWhenQueueFull(t *testing.T) {
+	p := NewPool(1, 2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() {
+		close(started)
+		<-release
+	})
+	<-started
+	// Fill the queue with two waiters.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func() {}); err != nil {
+				t.Errorf("queued request failed: %v", err)
+			}
+		}()
+	}
+	// Wait until both waiters hold queue tokens.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Queued() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued=%d, want 2", p.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Do(context.Background(), func() { t.Error("shed request ran") }); !errors.Is(err, ErrShed) {
+		t.Fatalf("err=%v, want ErrShed", err)
+	}
+	close(release)
+	wg.Wait()
+	if err := p.Do(context.Background(), func() {}); err != nil {
+		t.Fatalf("post-drain request failed: %v", err)
+	}
+}
+
+// TestPoolZeroQueueDepth checks that queueDepth 0 means run-or-shed.
+func TestPoolZeroQueueDepth(t *testing.T) {
+	p := NewPool(1, 0)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() {
+		close(started)
+		<-release
+	})
+	<-started
+	defer close(release)
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrShed) {
+		t.Fatalf("err=%v, want ErrShed", err)
 	}
 }

@@ -3,11 +3,16 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Server is the analysis service: HTTP handlers over a shared result
@@ -27,7 +32,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.Normalize()
 	s := &Server{
 		cfg:     cfg,
-		pool:    NewPool(cfg.Workers),
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
 		metrics: newMetrics(),
 	}
 	if cfg.CacheEntries > 0 {
@@ -48,8 +53,49 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = mux
+	s.handler = s.recoverPanics(mux)
 	return s
+}
+
+// recoverPanics is the outermost middleware: a panic anywhere on the
+// request goroutine (handler bugs, injected faults, pipeline panics that
+// escaped the library's own recovery) becomes a structured 500 instead
+// of killing the connection, and the process keeps serving.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// The stdlib sentinel for deliberately aborted responses.
+				panic(rec)
+			}
+			s.metrics.Panics.Add(1)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+					slog.String("endpoint", r.URL.Path),
+					slog.String("panic", fmt.Sprint(rec)),
+					slog.String("stack", string(debug.Stack())))
+			}
+			// Best effort: if the handler already wrote a status line this
+			// write is a no-op on the header and garbage on the body, but
+			// the usual case (panic before any write) gets a clean 500.
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: ErrorBody{
+				Code:    CodeInternal,
+				Message: fmt.Sprintf("internal error: %v", rec),
+			}})
+		}()
+		if err := fault.Inject("service.handler"); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: ErrorBody{
+				Code:    CodeInternal,
+				Message: err.Error(),
+			}})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Handler returns the service's HTTP handler, for mounting or httptest.

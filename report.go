@@ -12,7 +12,13 @@ import (
 // durations and work counters — appears when the analysis ran with
 // Options.Trace. Every v1 field is unchanged, so v1 readers can consume
 // v2 reports by ignoring the new field.
-const SchemaVersion = 2
+//
+// v3 (additive): "degraded" and "degradedReasons" appear when an analysis
+// run with Options.Degrade fell back to the polynomial verdict after the
+// exhaustive stage hit its deadline or budget, and "exact.cancelled"
+// marks an exact exploration stopped by its deadline. Every v2 field is
+// unchanged.
+const SchemaVersion = 3
 
 // JSONReport is the stable machine-readable projection of a Report,
 // emitted by Report.JSON, siwad -json, and the analysis service.
@@ -40,6 +46,12 @@ type JSONReport struct {
 	// durations in milliseconds and work counters. Present only when the
 	// analysis was traced.
 	Trace *JSONSpan `json:"trace,omitempty"`
+
+	// Degraded and DegradedReasons (schema v3, additive) mark a report
+	// whose exhaustive stage hit its deadline or budget under
+	// Options.Degrade; the polynomial verdicts above remain sound.
+	Degraded        bool     `json:"degraded,omitempty"`
+	DegradedReasons []string `json:"degradedReasons,omitempty"`
 }
 
 // JSONVerdict is one detector outcome.
@@ -83,6 +95,9 @@ type JSONExact struct {
 	Stall          bool `json:"stall"`
 	AnomalousWaves int  `json:"anomalousWaves"`
 	Truncated      bool `json:"truncated"`
+	// Cancelled (schema v3, additive) reports an exploration stopped by
+	// its deadline; Truncated is also set, the results are partial.
+	Cancelled bool `json:"cancelled,omitempty"`
 }
 
 func (r *Report) jsonVerdict(v Verdict) JSONVerdict {
@@ -111,6 +126,8 @@ func (r *Report) JSONReport() JSONReport {
 		DeadlockFree:    r.DeadlockFree(),
 		StallFree:       r.Stall.StallFree(),
 		Trace:           r.Trace.JSON(),
+		Degraded:        r.Degraded,
+		DegradedReasons: r.DegradedReasons,
 	}
 	for _, v := range r.Spectrum {
 		out.Spectrum = append(out.Spectrum, r.jsonVerdict(v))
@@ -147,6 +164,7 @@ func (r *Report) JSONReport() JSONReport {
 			Stall:          r.Exact.Stall,
 			AnomalousWaves: r.Exact.AnomalousWaves,
 			Truncated:      r.Exact.Truncated,
+			Cancelled:      r.Exact.Cancelled,
 		}
 	}
 	return out

@@ -26,11 +26,13 @@ package siwa
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 
 	"repro/internal/cfg"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/lang"
 	"repro/internal/obs"
 	"repro/internal/order"
@@ -79,8 +81,19 @@ const (
 
 // Parse parses MiniAda source. See the language overview in the README:
 // tasks containing sends ("target.msg;"), accepts ("accept msg;"),
-// conditionals and loops.
-func Parse(src string) (*Program, error) { return lang.Parse(src) }
+// conditionals and loops. A parser panic (a bug, or the "parse" fault
+// point) is contained and returned as a typed *InternalError.
+func Parse(src string) (prog *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &InternalError{Stage: "parse", Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	if ferr := fault.Inject("parse"); ferr != nil {
+		return nil, ferr
+	}
+	return lang.Parse(src)
+}
 
 // MustParse is Parse that panics on error, for examples and tests.
 func MustParse(src string) *Program { return lang.MustParse(src) }
@@ -126,6 +139,22 @@ type Options struct {
 	// one Trace would create, so callers can aggregate spans across many
 	// Analyze runs. Setting it implies Trace.
 	Tracer *Tracer
+	// Limits bounds the resources one analysis may consume (task count,
+	// parsed rendezvous nodes, unrolled rendezvous nodes). The zero value
+	// keeps the historical unbounded behaviour; servers should apply
+	// DefaultLimits. A violation surfaces as a typed *ResourceError before
+	// the oversized allocation happens, so an adversarial nested-loop
+	// program is refused by arithmetic instead of exhausting memory.
+	Limits Limits
+	// Degrade turns deadline and budget exhaustion in the expensive
+	// optional stages (Enumerate, Exact) into graceful degradation: the
+	// report keeps the already-computed polynomial verdict and is marked
+	// Degraded instead of the whole analysis failing. This is sound by the
+	// paper's conservatism guarantee — the polynomial detectors never
+	// certify a deadlocking program free — so "no anomaly found under
+	// budget, polynomial certificate holds" is still a valid conservative
+	// answer; only the extra precision of the exhaustive stage is lost.
+	Degrade bool
 }
 
 // Report is the complete analysis outcome for one program.
@@ -172,6 +201,14 @@ type Report struct {
 	// that ran, with durations and work counters. Render it with
 	// TraceString or project it with JSONReport.
 	Trace *Span
+
+	// Degraded reports that an expensive optional stage (enumeration or
+	// the exact explorer) hit its deadline or budget under Options.Degrade
+	// and the report fell back to the conservative polynomial verdict;
+	// DegradedReasons names each stage and why. The polynomial verdicts in
+	// this report remain sound certificates.
+	Degraded        bool
+	DegradedReasons []string
 }
 
 // Analyze runs the paper's pipeline on p: unroll loops twice (Lemma 1),
@@ -187,13 +224,14 @@ func Analyze(p *Program, opt Options) (*Report, error) {
 // deadline or cancel interrupts even an exponential Exact or Enumerate
 // request promptly. The returned error wraps ctx.Err(), so callers can
 // test it with errors.Is(err, context.DeadlineExceeded).
+//
+// Failure containment: every stage runs under panic recovery, so a bug in
+// a transform or detector returns a typed *InternalError naming the stage
+// (with the stack captured at the panic site) instead of crashing the
+// caller. Options.Limits violations return a typed *ResourceError, and
+// Options.Degrade converts deadline/budget exhaustion in the Enumerate and
+// Exact stages into a degraded-but-sound report (see Options.Degrade).
 func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, error) {
-	stage := func(name string) error {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("analyze: cancelled before %s: %w", name, err)
-		}
-		return nil
-	}
 	tr := opt.Tracer
 	if tr == nil && opt.Trace {
 		tr = obs.NewTracer()
@@ -203,132 +241,207 @@ func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, erro
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := checkLimit("tasks", opt.Limits.MaxTasks, len(p.Tasks)); err != nil {
+		return nil, err
+	}
 	rep := &Report{Program: p, Unrolled: p, Trace: root}
+	// stage runs one pipeline step: deadline gate, trace span, fault
+	// injection point ("analyze.<name>"), and panic containment. A panic
+	// anywhere inside fn becomes a typed *InternalError carrying the stage
+	// name and stack — never a crash.
+	stage := func(name string, fn func(sp *Span) error) (err error) {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("analyze: cancelled before %s: %w", name, cerr)
+		}
+		sp := root.StartChild(name)
+		defer sp.End()
+		defer func() {
+			if r := recover(); r != nil {
+				err = &InternalError{Stage: name, Value: r, Stack: string(debug.Stack())}
+			}
+		}()
+		if ferr := fault.Inject("analyze." + name); ferr != nil {
+			return fmt.Errorf("analyze: stage %s: %w", name, ferr)
+		}
+		return fn(sp)
+	}
+	degrade := func(reason string) {
+		rep.Degraded = true
+		rep.DegradedReasons = append(rep.DegradedReasons, reason)
+	}
 	inlined := p
 	if len(p.Procs) > 0 || p.HasCalls() {
-		sp := root.StartChild("inline")
-		inlined = p.InlineCalls()
-		rep.Unrolled = inlined
-		sp.End()
+		if err := stage("inline", func(sp *Span) error {
+			inlined = p.InlineCalls()
+			rep.Unrolled = inlined
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
-	if err := stage("unroll"); err != nil {
+	if err := checkLimit("rendezvous nodes", opt.Limits.MaxNodes, inlined.CountRendezvous()); err != nil {
 		return nil, err
 	}
 	if cfg.HasLoops(inlined) {
-		sp := root.StartChild("unroll")
-		rep.Unrolled = cfg.Unroll(inlined)
-		if sp != nil {
-			sp.Set("rendezvous_before", int64(inlined.CountRendezvous()))
-			sp.Set("rendezvous_after", int64(rep.Unrolled.CountRendezvous()))
+		if err := stage("unroll", func(sp *Span) error {
+			// UnrollBounded predicts the 2^depth growth of Lemma 1 before
+			// allocating it, so an unroll bomb costs arithmetic, not memory.
+			unrolled, err := cfg.UnrollBounded(inlined, opt.Limits.MaxUnrolledNodes)
+			if err != nil {
+				return err
+			}
+			rep.Unrolled = unrolled
+			if sp != nil {
+				sp.Set("rendezvous_before", int64(inlined.CountRendezvous()))
+				sp.Set("rendezvous_after", int64(rep.Unrolled.CountRendezvous()))
+			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		sp.End()
 	}
-	if err := stage("sync graph"); err != nil {
+	if err := stage("sync-graph", func(sp *Span) error {
+		g, err := sg.FromProgram(rep.Unrolled)
+		if err != nil {
+			return err
+		}
+		rep.Graph = g
+		if sp != nil {
+			sp.Set("tasks", int64(len(g.Tasks)))
+			sp.Set("rendezvous_nodes", int64(g.NumRendezvous()))
+			sp.Set("sync_edges", int64(g.NumSyncEdges()))
+			sp.Set("control_edges", int64(g.NumControlEdges()))
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	sp := root.StartChild("sync-graph")
-	g, err := sg.FromProgram(rep.Unrolled)
-	if err != nil {
-		return nil, err
-	}
-	rep.Graph = g
-	if sp != nil {
-		sp.Set("tasks", int64(len(g.Tasks)))
-		sp.Set("rendezvous_nodes", int64(g.NumRendezvous()))
-		sp.Set("sync_edges", int64(g.NumSyncEdges()))
-		sp.Set("control_edges", int64(g.NumControlEdges()))
-	}
-	sp.End()
 	// The FIFO refinement is only valid on the program's own loop-free
 	// graph: on a twice-unrolled graph, later loop iterations collapse
 	// onto the second copy and real diagonal pairings (instance k with
 	// instance k, k > 2) can map to copy pairs the refinement deletes.
 	if opt.FIFO && !cfg.HasLoops(inlined) {
-		sp := root.StartChild("fifo")
-		info := order.Compute(g)
-		rep.FIFORemoved = g.RemoveSyncEdges(info.InfeasibleSyncPairs())
-		sp.Set("removed_sync_edges", int64(rep.FIFORemoved))
-		sp.End()
+		if err := stage("fifo", func(sp *Span) error {
+			info := order.Compute(rep.Graph)
+			rep.FIFORemoved = rep.Graph.RemoveSyncEdges(info.InfeasibleSyncPairs())
+			sp.Set("removed_sync_edges", int64(rep.FIFORemoved))
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 	}
-	if err := stage("deadlock detection"); err != nil {
+	if err := stage("clg", func(sp *Span) error {
+		rep.Analyzer = core.NewAnalyzerTraced(rep.Graph, sp)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	sp = root.StartChild("clg")
-	rep.Analyzer = core.NewAnalyzerTraced(g, sp)
-	sp.End()
 	// Each detector stage points the analyzer's trace at its own span, so
 	// the marking and SCC counters land on the stage that caused them.
-	detect := func(name string, run func()) {
-		sp := root.StartChild(name)
-		rep.Analyzer.Trace = sp
-		run()
-		rep.Analyzer.Trace = nil
-		sp.End()
+	detect := func(name string, run func()) error {
+		return stage(name, func(sp *Span) error {
+			rep.Analyzer.Trace = sp
+			defer func() { rep.Analyzer.Trace = nil }()
+			run()
+			return nil
+		})
 	}
-	detect("detect:"+opt.Algorithm.String(), func() {
+	if err := detect("detect:"+opt.Algorithm.String(), func() {
 		rep.Deadlock = rep.Analyzer.Run(opt.Algorithm)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if opt.AllAlgorithms {
 		for _, a := range []Algorithm{
 			AlgoNaive, AlgoRefined, AlgoRefinedPairs,
 			AlgoRefinedHeadTail, AlgoRefinedHeadTailPairs,
 		} {
-			if err := stage("spectrum " + a.String()); err != nil {
+			a := a
+			if err := detect("spectrum:"+a.String(), func() {
+				rep.Spectrum = append(rep.Spectrum, rep.Analyzer.Run(a))
+			}); err != nil {
 				return nil, err
 			}
-			detect("spectrum:"+a.String(), func() {
-				rep.Spectrum = append(rep.Spectrum, rep.Analyzer.Run(a))
-			})
 		}
 	}
 	if opt.Constraint4 && rep.Deadlock.MayDeadlock {
-		if err := stage("constraint 4"); err != nil {
-			return nil, err
-		}
-		detect("constraint4", func() {
+		if err := detect("constraint4", func() {
 			rep.Constraint4Free, rep.Constraint4Conclusive = rep.Analyzer.Constraint4Certify(0)
-		})
-	}
-	if opt.Enumerate {
-		if err := stage("enumeration"); err != nil {
+		}); err != nil {
 			return nil, err
 		}
-		detect("enumerate", func() {
-			ev := rep.Analyzer.Enumerate(opt.EnumerateLimit)
-			rep.Enumerated = &ev
-		})
 	}
-	if err := stage("stall balance"); err != nil {
+	// Stall balance runs before the expensive optional stages so that a
+	// degraded report always carries both polynomial verdicts.
+	if err := stage("stall", func(sp *Span) error {
+		rep.Stall = stall.CheckAllLinearizations(inlined)
+		if sp != nil {
+			sp.Set("unbalanced_signals", int64(len(rep.Stall.Unbalanced())))
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	sp = root.StartChild("stall")
-	rep.Stall = stall.CheckAllLinearizations(inlined)
-	if sp != nil {
-		sp.Set("unbalanced_signals", int64(len(rep.Stall.Unbalanced())))
+	if opt.Enumerate {
+		if cerr := ctx.Err(); cerr != nil && opt.Degrade {
+			degrade("enumeration skipped: " + cerr.Error())
+		} else if err := detect("enumerate", func() {
+			ev := rep.Analyzer.Enumerate(opt.EnumerateLimit)
+			rep.Enumerated = &ev
+		}); err != nil {
+			return nil, err
+		} else if opt.Degrade && !rep.Enumerated.Conclusive {
+			degrade("enumeration budget exceeded; polynomial verdict stands")
+		}
 	}
-	sp.End()
 	if opt.Exact {
-		if err := stage("exact waves"); err != nil {
+		if cerr := ctx.Err(); cerr != nil && opt.Degrade {
+			degrade("exact exploration skipped: " + cerr.Error())
+			return rep, nil
+		}
+		if err := stage("exact-waves", func(sp *Span) error {
+			// The exact path expands bounded loops precisely; predict that
+			// growth too, so "loop 64 times" nests are refused, not paid.
+			if max := opt.Limits.MaxUnrolledNodes; max > 0 {
+				if n := cfg.PredictExpandedRendezvous(inlined); n > int64(max) {
+					return &ResourceError{Resource: "expanded rendezvous nodes", Limit: max, Actual: clampInt(n)}
+				}
+			}
+			eg, err := waves.ExploreProgramGraph(p)
+			if err != nil {
+				return err
+			}
+			rep.ExactGraph = eg
+			eo := opt.ExactOptions
+			if eo.Cancel == nil && ctx.Done() != nil {
+				eo.Cancel = func() bool { return ctx.Err() != nil }
+			}
+			eo.Trace = sp
+			rep.Exact = waves.Explore(eg, eo)
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		sp := root.StartChild("exact-waves")
-		eg, err := waves.ExploreProgramGraph(p)
-		if err != nil {
-			return nil, err
-		}
-		rep.ExactGraph = eg
-		eo := opt.ExactOptions
-		if eo.Cancel == nil && ctx.Done() != nil {
-			eo.Cancel = func() bool { return ctx.Err() != nil }
-		}
-		eo.Trace = sp
-		rep.Exact = waves.Explore(eg, eo)
-		sp.End()
-		if rep.Exact.Cancelled {
-			return nil, fmt.Errorf("analyze: cancelled during exact waves: %w", ctx.Err())
+		switch {
+		case rep.Exact.Cancelled:
+			if !opt.Degrade {
+				return nil, fmt.Errorf("analyze: cancelled during exact waves: %w", ctx.Err())
+			}
+			degrade("exact exploration hit the deadline; polynomial verdict stands")
+		case rep.Exact.Truncated && opt.Degrade:
+			degrade("exact exploration hit the state budget; polynomial verdict stands")
 		}
 	}
 	return rep, nil
+}
+
+// clampInt saturates an int64 prediction into int range for error reports.
+func clampInt(n int64) int {
+	const max = int64(^uint(0) >> 1)
+	if n > max {
+		return int(max)
+	}
+	return int(n)
 }
 
 // TraceString renders the pipeline span tree (Report.Trace) as indented
@@ -451,6 +564,10 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "exact waves: %d states, %d transitions, deadlock=%v stall=%v anomalous-waves=%d truncated=%v\n",
 			r.Exact.States, r.Exact.Transitions, r.Exact.Deadlock, r.Exact.Stall,
 			r.Exact.AnomalousWaves, r.Exact.Truncated)
+	}
+	if r.Degraded {
+		fmt.Fprintf(&b, "DEGRADED (conservative verdicts above remain sound): %s\n",
+			strings.Join(r.DegradedReasons, "; "))
 	}
 	return b.String()
 }

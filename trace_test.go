@@ -143,8 +143,8 @@ func TestTraceJSONProjection(t *testing.T) {
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.SchemaVersion != 2 {
-		t.Fatalf("schemaVersion=%d, want 2 (trace is a v2 field)", out.SchemaVersion)
+	if out.SchemaVersion < 2 {
+		t.Fatalf("schemaVersion=%d, want >= 2 (trace is a v2 field)", out.SchemaVersion)
 	}
 	if out.Trace == nil || out.Trace.Name != "analyze" {
 		t.Fatalf("trace projection: %+v", out.Trace)
