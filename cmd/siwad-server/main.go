@@ -15,6 +15,9 @@
 //
 //	-addr HOST:PORT   listen address (default :8080)
 //	-workers N        concurrent analyses (default GOMAXPROCS)
+//	-parallelism N    sweep workers inside each analysis (default 1: the
+//	                  pool already parallelizes across requests; 0 uses
+//	                  GOMAXPROCS — verdicts are identical either way)
 //	-queue-depth N    admitted analyses that may wait for a worker; beyond
 //	                  it requests are shed with 429 (0 = 4x workers, -1
 //	                  disables waiting)
@@ -61,6 +64,7 @@ func run(args []string) int {
 	fs.SetOutput(os.Stderr)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
+	parallelism := fs.Int("parallelism", 1, "sweep workers per analysis (1 = serial, 0 = GOMAXPROCS; the pool already parallelizes across requests)")
 	queueDepth := fs.Int("queue-depth", 0, "admission queue depth before shedding (0 = 4x workers, -1 disables waiting)")
 	limitsSpec := fs.String("limits", "", "per-analysis resource caps: tasks=N,nodes=N,unrolled=N, or off/default (default: default)")
 	cache := fs.Int("cache", 0, "result cache entries (0 = 1024, -1 disables)")
@@ -101,6 +105,7 @@ func run(args []string) int {
 	srv := service.New(service.Config{
 		Addr:           *addr,
 		Workers:        *workers,
+		Parallelism:    configParallelism(*parallelism),
 		QueueDepth:     *queueDepth,
 		Limits:         limits,
 		CacheEntries:   *cache,
@@ -122,4 +127,13 @@ func run(args []string) int {
 	}
 	fmt.Fprintln(os.Stderr, "siwad-server: drained, bye")
 	return 0
+}
+
+// configParallelism maps the flag convention (0 = GOMAXPROCS, matching
+// siwad) onto service.Config's (0 = serial default, negative = GOMAXPROCS).
+func configParallelism(flagVal int) int {
+	if flagVal == 0 {
+		return -1
+	}
+	return flagVal
 }

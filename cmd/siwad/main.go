@@ -68,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	anomalyTrace := fs.Bool("anomaly-trace", false, "with the exact explorer, print rendezvous traces to each anomaly (implies -exact)")
 	maxStates := fs.Int("max-states", 1<<20, "state cap for -exact")
 	limitsSpec := fs.String("limits", "", "resource caps: tasks=N,nodes=N,unrolled=N, or default (unbounded when omitted)")
+	parallelism := fs.Int("parallelism", 0, "worker count for detector hypothesis sweeps (0 = GOMAXPROCS, 1 = serial)")
 	degrade := fs.Bool("degrade", false, "degrade to the polynomial verdicts when the exact explorer is cut short")
 	dot := fs.String("dot", "", "emit a Graphviz graph (sync|clg|waves) instead of analyzing")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the text report")
@@ -115,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ExactOptions:  waves.Options{MaxStates: *maxStates, Traces: *anomalyTrace},
 			Trace:         *trace,
 			Limits:        limits,
+			Parallelism:   *parallelism,
 			Degrade:       *degrade,
 		})
 		if err != nil {

@@ -1,0 +1,97 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRowBasics(t *testing.T) {
+	r := NewRow(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if r.Get(i) {
+			t.Fatalf("fresh row has bit %d", i)
+		}
+		r.Set(i)
+		if !r.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if got := r.Count(); got != 8 {
+		t.Fatalf("count=%d", got)
+	}
+	r.Clear(64)
+	if r.Get(64) || r.Count() != 7 {
+		t.Fatalf("clear failed: %v", r)
+	}
+	want := []int{0, 1, 63, 65, 127, 128, 129}
+	got := r.Members(nil)
+	if len(got) != len(want) {
+		t.Fatalf("members=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members=%v want %v", got, want)
+		}
+	}
+}
+
+func TestOrExceptMatchesElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 200
+	for trial := 0; trial < 50; trial++ {
+		a, b := NewRow(n), NewRow(n)
+		ref := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				a.Set(i)
+				ref[i] = true
+			}
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		s1, s2 := rng.Intn(n), rng.Intn(n)
+		wantChanged := false
+		for i := 0; i < n; i++ {
+			if i == s1 || i == s2 || !b.Get(i) {
+				continue
+			}
+			if !ref[i] {
+				ref[i] = true
+				wantChanged = true
+			}
+		}
+		if changed := OrExcept(a, b, s1, s2); changed != wantChanged {
+			t.Fatalf("trial %d: changed=%v want %v", trial, changed, wantChanged)
+		}
+		for i := 0; i < n; i++ {
+			if a.Get(i) != ref[i] {
+				t.Fatalf("trial %d: bit %d = %v want %v", trial, i, a.Get(i), ref[i])
+			}
+		}
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(70)
+	m.Set(3, 69)
+	m.Set(69, 0)
+	if !m.Get(3, 69) || !m.Get(69, 0) || m.Get(0, 3) {
+		t.Fatal("matrix get/set wrong")
+	}
+	if !m.Row(3).Get(69) {
+		t.Fatal("row view does not share storage")
+	}
+	o := NewMatrix(70)
+	if m.Equal(o) {
+		t.Fatal("unequal matrices reported equal")
+	}
+	o.Set(3, 69)
+	o.Set(69, 0)
+	if !m.Equal(o) {
+		t.Fatal("equal matrices reported unequal")
+	}
+	if m.Equal(NewMatrix(71)) {
+		t.Fatal("dimension mismatch reported equal")
+	}
+}

@@ -50,7 +50,7 @@ func Refine(g *sg.Graph, info *order.Info) int {
 	}
 	added := 0
 	add := func(x, y int) {
-		if x != y && !info.NotCoexec[x][y] {
+		if x != y && !info.NotCoexec.Get(x, y) {
 			info.AddNotCoexec(x, y)
 			added++
 		}
@@ -96,7 +96,7 @@ func Refine(g *sg.Graph, info *order.Info) int {
 		changed = false
 		for _, y := range rendezvous {
 			for _, x := range rendezvous {
-				if x == y || g.TaskOf[x] == g.TaskOf[y] || info.NotCoexec[x][y] {
+				if x == y || g.TaskOf[x] == g.TaskOf[y] || info.NotCoexec.Get(x, y) {
 					continue
 				}
 				if blockedBy(g, info, x, domChain[y]) {
@@ -119,7 +119,7 @@ func blockedBy(g *sg.Graph, info *order.Info, x int, chain []int) bool {
 		}
 		all := true
 		for _, p := range partners {
-			if p == x || !info.NotCoexec[p][x] {
+			if p == x || !info.NotCoexec.Get(p, x) {
 				all = false
 				break
 			}

@@ -55,7 +55,7 @@ end;
 		{"g", "a"}, {"g", "bb"}, {"h", "a"}, {"h", "bb"},
 	} {
 		x, y := g.NodeByLabel(pair[0]), g.NodeByLabel(pair[1])
-		if !info.NotCoexec[x][y] {
+		if !info.NotCoexec.Get(x, y) {
 			t.Errorf("NC(%s, %s) not derived", pair[0], pair[1])
 		}
 	}
@@ -81,7 +81,7 @@ end;
 `)
 	for _, pair := range [][2]string{{"r", "u"}, {"r", "v"}, {"s", "u"}, {"r", "s"}} {
 		x, y := g.NodeByLabel(pair[0]), g.NodeByLabel(pair[1])
-		if info.NotCoexec[x][y] {
+		if info.NotCoexec.Get(x, y) {
 			t.Errorf("NC(%s, %s) wrongly derived on a completing program", pair[0], pair[1])
 		}
 	}
@@ -176,11 +176,11 @@ begin
 end;
 `)
 	s1, s2 := g.NodeByLabel("s1"), g.NodeByLabel("s2")
-	if !info.NotCoexec[s1][s2] {
+	if !info.NotCoexec.Get(s1, s2) {
 		t.Fatal("shared-unique-partner rule did not fire")
 	}
 	a := g.NodeByLabel("a")
-	if info.NotCoexec[s1][a] || info.NotCoexec[s2][a] {
+	if info.NotCoexec.Get(s1, a) || info.NotCoexec.Get(s2, a) {
 		t.Fatal("sender wrongly excluded from its own accept")
 	}
 }
@@ -211,7 +211,7 @@ end;
 	// But p (dominated by s2, partner after1 only)... verify at least
 	// the seed and that no unsound pair appears against ground truth.
 	s1, s2 := g.NodeByLabel("s1"), g.NodeByLabel("s2")
-	if !info.NotCoexec[s1][s2] {
+	if !info.NotCoexec.Get(s1, s2) {
 		t.Fatal("seed missing")
 	}
 	assertSoundAgainstExplorer(t, g, info, `
@@ -248,7 +248,7 @@ func assertSoundAgainstExplorer(t *testing.T, g *sg.Graph, info *order.Info, src
 	executedTogether := exploreExecutedPairs(g)
 	for x := 0; x < g.N(); x++ {
 		for y := x + 1; y < g.N(); y++ {
-			if info.NotCoexec[x][y] && executedTogether[[2]int{x, y}] {
+			if info.NotCoexec.Get(x, y) && executedTogether[[2]int{x, y}] {
 				t.Fatalf("UNSOUND: NC(%s, %s) but both execute in one run\n%s",
 					g.Nodes[x], g.Nodes[y], src)
 			}
@@ -345,7 +345,7 @@ func TestQuickRefineSound(t *testing.T) {
 		Refine(g, info)
 		pairs := exploreExecutedPairs(g)
 		for k, both := range pairs {
-			if both && info.NotCoexec[k[0]][k[1]] {
+			if both && info.NotCoexec.Get(k[0], k[1]) {
 				t.Logf("UNSOUND NC(%s,%s):\n%s", g.Nodes[k[0]], g.Nodes[k[1]], p)
 				return false
 			}

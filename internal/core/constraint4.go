@@ -156,7 +156,7 @@ func (a *Analyzer) BreakableByOutsider(ci CycleInfo) (int, bool) {
 			}
 			ok := true
 			for _, p := range g.Sync[w] {
-				if p == t || a.Ord.Precede[t][p] {
+				if p == t || a.Ord.Precede.Get(t, p) {
 					continue
 				}
 				ok = false

@@ -16,10 +16,16 @@
 //
 // Every algorithm expects a loop-free sync graph; apply cfg.Unroll first
 // (Analyze in the facade package does this automatically).
+//
+// Execution model: the refined detectors all test streams of independent
+// hypotheses, so they run on the parallel sweep engine in sweep.go —
+// per-worker probe state, deterministic merge, verdicts byte-identical to
+// serial runs. See the Analyzer doc for the concurrency contract.
 package core
 
 import (
-	"sort"
+	"encoding/binary"
+	"sync"
 
 	"repro/internal/clg"
 	"repro/internal/obs"
@@ -79,45 +85,55 @@ type Verdict struct {
 }
 
 // Analyzer bundles a sync graph with its derived structures so the
-// detection spectrum can be run without recomputing them. An Analyzer is
-// not safe for concurrent use: hypothesis masks and the strong-component
-// search reuse epoch-stamped scratch buffers across runs.
+// detection spectrum can be run without recomputing them.
+//
+// Concurrency: an Analyzer is read-only after construction and safe for
+// concurrent use — any number of goroutines may call the detector methods
+// on one shared Analyzer. All per-hypothesis mutable state (markings,
+// Tarjan scratch) lives in pooled probe values, never in the Analyzer.
+// The two exceptions to the read-only contract are the exported knobs
+// Parallelism and Trace, which callers set before handing the Analyzer
+// out. Trace aggregation is not synchronized across detector runs:
+// concurrent runs on one Analyzer require a nil Trace (the facade traces
+// only its own single-goroutine pipeline, so this composes).
 type Analyzer struct {
 	SG  *sg.Graph
 	CLG *clg.CLG
 	Ord *order.Info
 
+	// Parallelism caps the worker count of hypothesis sweeps. 0 (the
+	// default) means GOMAXPROCS; 1 forces serial execution; values above
+	// GOMAXPROCS are honored (useful for exercising the parallel path on
+	// small machines). Verdicts are identical at every setting.
+	Parallelism int
+
 	// Trace, when non-nil, receives the detector's work counters
-	// (hypotheses tested, SCC runs, nodes pruned by each marking rule).
-	// The facade points it at the active pipeline-stage span before each
-	// detector run; a nil Trace records nothing and costs one branch.
+	// (hypotheses tested, SCC runs, nodes pruned by each marking rule,
+	// sweep worker counts). The facade points it at the active
+	// pipeline-stage span before each detector run; a nil Trace records
+	// nothing and costs one branch. Only the coordinating goroutine
+	// writes to it — workers accumulate privately and the sums are merged
+	// after each sweep, so totals match serial runs exactly.
 	Trace *obs.Span
 
-	scratch struct {
-		epoch       int
-		blocked     []int // DO-NOT-ENTER, valid when == epoch
-		noSyncInto  []int
-		noSyncOutOf []int
+	// Immutable hypothesis tables, materialized once at construction so
+	// the per-hypothesis hot path never recomputes or allocates them:
+	// POSS-HEADS, SEQUENCEABLE and NOT-COEXEC sets per rendezvous node,
+	// and tail candidates per possible head.
+	heads   []int
+	seqSets [][]int
+	ncxSets [][]int
+	tails   [][]int
 
-		sccEpoch int
-		visited  []int // Tarjan visitation stamp
-		index    []int
-		low      []int
-		onStack  []bool
-		compOf   []int
-		stack    []int
-		frames   []sccFrame
-	}
-}
-
-type sccFrame struct {
-	v  int
-	ei int
+	probes sync.Pool
 }
 
 // NewAnalyzer builds the CLG and ordering facts for g. The sync graph must
 // be loop-free for the refined detectors to gain any precision; with
 // control cycles they degrade (safely) toward the naive answer.
+//
+// Ordering facts are snapshotted here: order.Info.AddNotCoexec calls made
+// after construction are not seen by this Analyzer's detectors.
 func NewAnalyzer(g *sg.Graph) *Analyzer {
 	return NewAnalyzerTraced(g, nil)
 }
@@ -125,13 +141,29 @@ func NewAnalyzer(g *sg.Graph) *Analyzer {
 // NewAnalyzerTraced is NewAnalyzer recording the derived structures' sizes
 // (CLG nodes/edges) into span (nil span records nothing).
 func NewAnalyzerTraced(g *sg.Graph, span *obs.Span) *Analyzer {
-	return &Analyzer{SG: g, CLG: clg.BuildTraced(g, span), Ord: order.Compute(g)}
+	a := &Analyzer{SG: g, CLG: clg.BuildTraced(g, span), Ord: order.Compute(g)}
+	a.heads = a.computeHeads()
+	n := g.N()
+	a.seqSets = make([][]int, n)
+	a.ncxSets = make([][]int, n)
+	a.tails = make([][]int, n)
+	for _, nd := range g.Nodes {
+		if !nd.IsRendezvous() {
+			continue
+		}
+		a.seqSets[nd.ID] = a.Ord.SequenceableSet(nd.ID)
+		a.ncxSets[nd.ID] = a.Ord.NotCoexecSet(nd.ID)
+	}
+	for _, h := range a.heads {
+		a.tails[h] = a.computeTailCandidates(h)
+	}
+	return a
 }
 
-// PossibleHeads returns the paper's POSS-HEADS set: rendezvous nodes with
+// computeHeads derives the paper's POSS-HEADS set: rendezvous nodes with
 // at least one sync edge that are the tail of at least one control edge
 // leading to another rendezvous node.
-func (a *Analyzer) PossibleHeads() []int {
+func (a *Analyzer) computeHeads() []int {
 	g := a.SG
 	var out []int
 	for _, n := range g.Nodes {
@@ -148,6 +180,10 @@ func (a *Analyzer) PossibleHeads() []int {
 	return out
 }
 
+// PossibleHeads returns the paper's POSS-HEADS set, memoized at
+// construction. Callers must not modify the returned slice.
+func (a *Analyzer) PossibleHeads() []int { return a.heads }
+
 // Naive runs CLG cycle detection.
 func (a *Analyzer) Naive() Verdict {
 	v := Verdict{Algorithm: AlgoNaive}
@@ -158,278 +194,10 @@ func (a *Analyzer) Naive() Verdict {
 	return v
 }
 
-// mask holds the per-hypothesis CLG markings, epoch-stamped into the
-// analyzer's scratch buffers so successive hypotheses reuse memory.
-type mask struct {
-	a     *Analyzer
-	epoch int
-}
-
-func (m *mask) block(v int)          { m.a.scratch.blocked[v] = m.epoch }
-func (m *mask) blockSyncInto(v int)  { m.a.scratch.noSyncInto[v] = m.epoch }
-func (m *mask) blockSyncOutOf(v int) { m.a.scratch.noSyncOutOf[v] = m.epoch }
-func (m *mask) isBlocked(v int) bool { return m.a.scratch.blocked[v] == m.epoch }
-func (m *mask) noSyncIn(v int) bool  { return m.a.scratch.noSyncInto[v] == m.epoch }
-func (m *mask) noSyncOut(v int) bool { return m.a.scratch.noSyncOutOf[v] == m.epoch }
-
-func (a *Analyzer) newMask() *mask {
-	n := a.CLG.N()
-	s := &a.scratch
-	if len(s.blocked) < n {
-		s.blocked = make([]int, n)
-		s.noSyncInto = make([]int, n)
-		s.noSyncOutOf = make([]int, n)
-	}
-	s.epoch++
-	return &mask{a: a, epoch: s.epoch}
-}
-
-// markHead applies the single-head markings for hypothesized head h:
-//   - SEQUENCEABLE[h]: cannot be heads of the same cycle (constraint 3a),
-//     so sync edges into k_i are blocked. Blocking k's outgoing sync edge
-//     too, as the paper's main-loop text literally reads, would also
-//     forbid k as a *tail* and is demonstrably unsound (see DESIGN.md);
-//     the paper's own head-tail extension marks only r_i, which we follow.
-//   - COACCEPT[h]: same-type accepts cannot carry the cycle out of h's
-//     task without forcing a constraint-2 violation (Lemma 2), so both
-//     halves lose sync traversal.
-//   - NOT-COEXEC[h]: cannot appear in any run with h (constraint 3b), so
-//     the nodes are removed outright.
-func (a *Analyzer) markHead(m *mask, h int) {
-	c := a.CLG
-	seq := a.Ord.SequenceableSet(h)
-	for _, k := range seq {
-		m.blockSyncInto(c.In[k])
-	}
-	coacc := a.Ord.CoAccept[h]
-	for _, k := range coacc {
-		m.blockSyncInto(c.In[k])
-		m.blockSyncOutOf(c.Out[k])
-	}
-	ncx := a.Ord.NotCoexecSet(h)
-	for _, k := range ncx {
-		m.block(c.In[k])
-		m.block(c.Out[k])
-	}
-	if t := a.Trace; t != nil {
-		t.Add("pruned_sequenceable", int64(len(seq)))
-		t.Add("pruned_coaccept", int64(len(coacc)))
-		t.Add("pruned_notcoexec", int64(len(ncx)))
-	}
-}
-
-// markHeadTail applies the head-tail variant markings for (h, t):
-// NOT-COEXEC of either hypothesis is removed; SEQUENCEABLE[h] lose head
-// status; COACCEPT needs no marking because the tail is fixed.
-func (a *Analyzer) markHeadTail(m *mask, h, t int) {
-	c := a.CLG
-	seq := a.Ord.SequenceableSet(h)
-	for _, k := range seq {
-		m.blockSyncInto(c.In[k])
-	}
-	ncxH := a.Ord.NotCoexecSet(h)
-	for _, k := range ncxH {
-		m.block(c.In[k])
-		m.block(c.Out[k])
-	}
-	ncxT := a.Ord.NotCoexecSet(t)
-	for _, k := range ncxT {
-		m.block(c.In[k])
-		m.block(c.Out[k])
-	}
-	if tr := a.Trace; tr != nil {
-		tr.Add("pruned_sequenceable", int64(len(seq)))
-		tr.Add("pruned_notcoexec", int64(len(ncxH)+len(ncxT)))
-	}
-}
-
-// sccThrough runs a masked strong-component search and returns the set of
-// CLG nodes in the component containing start, when that component is
-// nontrivial (contains a cycle). Nil means start lies on no cycle under
-// the mask.
-func (a *Analyzer) sccThrough(m *mask, start int) []int {
-	comp, ok := maskedSCC(a.CLG, m, start)
-	if !ok {
-		return nil
-	}
-	return comp
-}
-
-// maskedSCC computes the strongly-connected component of start in the CLG
-// under mask m, restricted to nodes reachable from start, reusing the
-// analyzer's epoch-stamped scratch buffers. Returns the component members
-// and whether the component is nontrivial.
-func maskedSCC(c *clg.CLG, m *mask, start int) ([]int, bool) {
-	if m.isBlocked(start) {
-		return nil, false
-	}
-	g := c.G
-	n := g.N()
-	s := &m.a.scratch
-	if len(s.visited) < n {
-		s.visited = make([]int, n)
-		s.index = make([]int, n)
-		s.low = make([]int, n)
-		s.onStack = make([]bool, n)
-		s.compOf = make([]int, n)
-	}
-	s.sccEpoch++
-	epoch := s.sccEpoch
-	seen := func(v int) bool { return s.visited[v] == epoch }
-	visit := func(v, idx int) {
-		s.visited[v] = epoch
-		s.index[v], s.low[v] = idx, idx
-		s.onStack[v] = true
-		s.stack = append(s.stack, v)
-	}
-	stackBase := len(s.stack)
-	idx := 0
-	ncomp := 0
-
-	allowed := func(u, v int) bool {
-		if m.isBlocked(v) {
-			return false
-		}
-		if c.IsSyncEdge(u, v) && (m.noSyncOut(u) || m.noSyncIn(v)) {
-			return false
-		}
-		return true
-	}
-
-	s.frames = append(s.frames[:0], sccFrame{start, 0})
-	visit(start, 0)
-	idx = 1
-	startComp := -1
-	for len(s.frames) > 0 {
-		f := &s.frames[len(s.frames)-1]
-		v := f.v
-		if f.ei < len(g.Succ(v)) {
-			w := g.Succ(v)[f.ei]
-			f.ei++
-			if !allowed(v, w) {
-				continue
-			}
-			if !seen(w) {
-				visit(w, idx)
-				idx++
-				s.frames = append(s.frames, sccFrame{w, 0})
-			} else if s.onStack[w] && s.index[w] < s.low[v] {
-				s.low[v] = s.index[w]
-			}
-			continue
-		}
-		if s.low[v] == s.index[v] {
-			for {
-				w := s.stack[len(s.stack)-1]
-				s.stack = s.stack[:len(s.stack)-1]
-				s.onStack[w] = false
-				s.compOf[w] = ncomp
-				if w == v {
-					break
-				}
-			}
-			ncomp++
-		}
-		s.frames = s.frames[:len(s.frames)-1]
-		if len(s.frames) > 0 {
-			p := s.frames[len(s.frames)-1].v
-			if s.low[v] < s.low[p] {
-				s.low[p] = s.low[v]
-			}
-		}
-	}
-	s.stack = s.stack[:stackBase]
-	startComp = s.compOf[start]
-
-	var members []int
-	for v := 0; v < n; v++ {
-		if s.visited[v] == epoch && s.compOf[v] == startComp {
-			members = append(members, v)
-		}
-	}
-	if len(members) > 1 {
-		return members, true
-	}
-	// Single-node component: nontrivial only with an allowed self-loop
-	// (the CLG construction never creates one, but stay defensive).
-	for _, w := range g.Succ(start) {
-		if w == start && allowed(start, start) {
-			return members, true
-		}
-	}
-	return nil, false
-}
-
-// witnessNodes maps CLG component members back to deduplicated, sorted
-// sync-graph node ids for reporting.
-func (a *Analyzer) witnessNodes(comp []int) []int {
-	set := map[int]bool{}
-	var out []int
-	for _, v := range comp {
-		o := a.CLG.Orig[v]
-		if !set[o] {
-			set[o] = true
-			out = append(out, o)
-		}
-	}
-	sort.Ints(out)
-	return out
-}
-
-// Refined runs the paper's main refined algorithm: one masked SCC search
-// per possible head node. Total time O(|N_CLG| * (|N_CLG| + |E_CLG|)).
-func (a *Analyzer) Refined() Verdict {
-	v := Verdict{Algorithm: AlgoRefined}
-	for _, h := range a.PossibleHeads() {
-		v.Hypotheses++
-		m := a.newMask()
-		a.markHead(m, h)
-		v.SCCRuns++
-		if comp := a.sccThrough(m, a.CLG.In[h]); comp != nil {
-			v.MayDeadlock = true
-			v.Witnesses = appendWitness(v.Witnesses, a.witnessNodes(comp))
-		}
-	}
-	return v
-}
-
-// RefinedPairs hypothesizes unordered pairs of head nodes in distinct
-// tasks. Pairs that are sequenceable (constraint 3a) or joined by a sync
-// edge (constraint 2) cannot both head one cycle and are skipped; every
-// deadlock cycle couples at least two tasks, so the pair sweep is
-// exhaustive and the detector remains safe.
-func (a *Analyzer) RefinedPairs() Verdict {
-	v := Verdict{Algorithm: AlgoRefinedPairs}
-	heads := a.PossibleHeads()
-	g := a.SG
-	for i, h1 := range heads {
-		for _, h2 := range heads[i+1:] {
-			if g.TaskOf[h1] == g.TaskOf[h2] ||
-				a.Ord.Sequenceable(h1, h2) ||
-				g.HasSyncEdge(h1, h2) ||
-				a.Ord.NotCoexec[h1][h2] {
-				continue
-			}
-			v.Hypotheses++
-			m := a.newMask()
-			a.markHead(m, h1)
-			a.markHead(m, h2)
-			v.SCCRuns++
-			comp := a.sccThrough(m, a.CLG.In[h1])
-			if comp == nil || !contains(comp, a.CLG.In[h2]) {
-				continue
-			}
-			v.MayDeadlock = true
-			v.Witnesses = appendWitness(v.Witnesses, a.witnessNodes(comp))
-		}
-	}
-	return v
-}
-
-// tailCandidates returns valid tails for head h: rendezvous nodes with
-// sync edges, strictly control-reachable from h, not same-type co-accepts
-// of h and co-executable with h.
-func (a *Analyzer) tailCandidates(h int) []int {
+// computeTailCandidates derives valid tails for head h: rendezvous nodes
+// with sync edges, strictly control-reachable from h, not same-type
+// co-accepts of h and co-executable with h.
+func (a *Analyzer) computeTailCandidates(h int) []int {
 	g := a.SG
 	reach := g.Control.ReachableFrom(g.Control.Succ(h)...)
 	coacc := map[int]bool{}
@@ -442,7 +210,7 @@ func (a *Analyzer) tailCandidates(h int) []int {
 		if !n.IsRendezvous() || !reach[t] || len(g.Sync[t]) == 0 {
 			continue
 		}
-		if coacc[t] || a.Ord.NotCoexec[h][t] {
+		if coacc[t] || a.Ord.NotCoexec.Get(h, t) {
 			continue
 		}
 		out = append(out, t)
@@ -450,25 +218,30 @@ func (a *Analyzer) tailCandidates(h int) []int {
 	return out
 }
 
+// tailCandidates returns the cached tail set for possible head h (nil for
+// nodes outside POSS-HEADS). Callers must not modify the returned slice.
+func (a *Analyzer) tailCandidates(h int) []int { return a.tails[h] }
+
+// Refined runs the paper's main refined algorithm: one masked SCC search
+// per possible head node. Total time O(|N_CLG| * (|N_CLG| + |E_CLG|)),
+// divided across sweep workers.
+func (a *Analyzer) Refined() Verdict {
+	return a.sweep(AlgoRefined, a.refinedHyps())
+}
+
+// RefinedPairs hypothesizes unordered pairs of head nodes in distinct
+// tasks. Pairs that are sequenceable (constraint 3a) or joined by a sync
+// edge (constraint 2) cannot both head one cycle and are skipped; every
+// deadlock cycle couples at least two tasks, so the pair sweep is
+// exhaustive and the detector remains safe.
+func (a *Analyzer) RefinedPairs() Verdict {
+	return a.sweep(AlgoRefinedPairs, a.refinedPairHyps())
+}
+
 // RefinedHeadTail hypothesizes (head, tail) pairs within one task and
 // requires the strong component to contain both h_i and t_o.
 func (a *Analyzer) RefinedHeadTail() Verdict {
-	v := Verdict{Algorithm: AlgoRefinedHeadTail}
-	for _, h := range a.PossibleHeads() {
-		for _, t := range a.tailCandidates(h) {
-			v.Hypotheses++
-			m := a.newMask()
-			a.markHeadTail(m, h, t)
-			v.SCCRuns++
-			comp := a.sccThrough(m, a.CLG.In[h])
-			if comp == nil || !contains(comp, a.CLG.Out[t]) {
-				continue
-			}
-			v.MayDeadlock = true
-			v.Witnesses = appendWitness(v.Witnesses, a.witnessNodes(comp))
-		}
-	}
-	return v
+	return a.sweep(AlgoRefinedHeadTail, a.headTailHyps())
 }
 
 // RefinedHeadTailPairs combines both extensions with k = 2: two head-tail
@@ -476,40 +249,7 @@ func (a *Analyzer) RefinedHeadTail() Verdict {
 // k = 2 is the safe limit without a separate small-cycle search, because
 // every deadlock cycle joins at least two tasks.
 func (a *Analyzer) RefinedHeadTailPairs() Verdict {
-	v := Verdict{Algorithm: AlgoRefinedHeadTailPairs}
-	g := a.SG
-	type ht struct{ h, t int }
-	var hyps []ht
-	for _, h := range a.PossibleHeads() {
-		for _, t := range a.tailCandidates(h) {
-			hyps = append(hyps, ht{h, t})
-		}
-	}
-	for i, p1 := range hyps {
-		for _, p2 := range hyps[i+1:] {
-			if g.TaskOf[p1.h] == g.TaskOf[p2.h] ||
-				a.Ord.Sequenceable(p1.h, p2.h) ||
-				g.HasSyncEdge(p1.h, p2.h) ||
-				a.Ord.NotCoexec[p1.h][p2.h] {
-				continue
-			}
-			v.Hypotheses++
-			m := a.newMask()
-			a.markHeadTail(m, p1.h, p1.t)
-			a.markHeadTail(m, p2.h, p2.t)
-			v.SCCRuns++
-			comp := a.sccThrough(m, a.CLG.In[p1.h])
-			if comp == nil ||
-				!contains(comp, a.CLG.Out[p1.t]) ||
-				!contains(comp, a.CLG.In[p2.h]) ||
-				!contains(comp, a.CLG.Out[p2.t]) {
-				continue
-			}
-			v.MayDeadlock = true
-			v.Witnesses = appendWitness(v.Witnesses, a.witnessNodes(comp))
-		}
-	}
-	return v
+	return a.sweep(AlgoRefinedHeadTailPairs, a.headTailPairHyps())
 }
 
 // Run dispatches by algorithm. AlgoRefinedKPairs runs with k = 3 and
@@ -558,23 +298,31 @@ func contains(s []int, v int) bool {
 	return false
 }
 
-func appendWitness(ws [][]int, w []int) [][]int {
-	for _, x := range ws {
-		if equalInts(x, w) {
-			return ws
-		}
-	}
-	return append(ws, w)
+// witnessSet accumulates witness node lists, deduplicating by content
+// while preserving first-seen order. Keys are varint-packed so dedup is
+// O(total witness length), not quadratic in the number of witnesses.
+type witnessSet struct {
+	keys map[string]bool
+	list [][]int
 }
 
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
+func (ws *witnessSet) add(w []int) {
+	k := witnessKey(w)
+	if ws.keys == nil {
+		ws.keys = map[string]bool{}
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
+	if ws.keys[k] {
+		return
 	}
-	return true
+	ws.keys[k] = true
+	ws.list = append(ws.list, w)
+}
+
+func witnessKey(w []int) string {
+	buf := make([]byte, 0, 4*len(w))
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range w {
+		buf = append(buf, tmp[:binary.PutVarint(tmp[:], int64(v))]...)
+	}
+	return string(buf)
 }

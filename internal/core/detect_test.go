@@ -121,16 +121,17 @@ func TestFigure1Spectrum(t *testing.T) {
 func TestCoAcceptMarkingKillsAcceptSideHypothesis(t *testing.T) {
 	a := analyzer(t, figure1Class)
 	u := a.SG.NodeByLabel("u")
-	m := a.newMask()
-	a.markHead(m, u)
-	if comp := a.sccThrough(m, a.CLG.In[u]); comp != nil {
+	p := a.newProbe()
+	p.begin()
+	p.markHead(u)
+	if comp := p.sccThrough(a.CLG.In[u]); comp != nil {
 		t.Fatalf("accept-side hypothesis survived: %v", comp)
 	}
 	// Without COACCEPT the cycle is there.
 	r := a.SG.NodeByLabel("r")
-	m2 := a.newMask()
-	a.markHead(m2, r)
-	if comp := a.sccThrough(m2, a.CLG.In[r]); comp == nil {
+	p.begin()
+	p.markHead(r)
+	if comp := p.sccThrough(a.CLG.In[r]); comp == nil {
 		t.Fatal("send-side hypothesis should survive (motivates the pair extension)")
 	}
 }
@@ -238,9 +239,10 @@ func TestFigure4cNotCoexec(t *testing.T) {
 	}
 	// Hypotheses inside X die from intra-task NOT-COEXEC.
 	x1 := a.SG.NodeByLabel("a")
-	m := a.newMask()
-	a.markHead(m, x1)
-	if comp := a.sccThrough(m, a.CLG.In[x1]); comp != nil {
+	p := a.newProbe()
+	p.begin()
+	p.markHead(x1)
+	if comp := p.sccThrough(a.CLG.In[x1]); comp != nil {
 		t.Fatal("intra-task NOT-COEXEC did not kill the X-side hypothesis")
 	}
 	// The Y/Z-side hypotheses keep it alive: the masked-SCC detectors

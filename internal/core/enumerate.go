@@ -50,6 +50,7 @@ func (a *Analyzer) Enumerate(limit int) EnumerationVerdict {
 		}
 		return v
 	}
+	ws := witnessSet{}
 	for _, ci := range cycles {
 		v.Hypotheses++
 		if !a.singleEntryPerTask(ci) || !a.plausibleDeadlockCycle(ci) {
@@ -57,8 +58,9 @@ func (a *Analyzer) Enumerate(limit int) EnumerationVerdict {
 		}
 		v.CyclesPlausible++
 		v.MayDeadlock = true
-		v.Witnesses = appendWitness(v.Witnesses, graph.Sorted(ci.Nodes))
+		ws.add(graph.Sorted(ci.Nodes))
 	}
+	v.Witnesses = ws.list
 	if t := a.Trace; t != nil {
 		t.Add("cycles_seen", int64(v.CyclesSeen))
 		t.Add("cycles_plausible", int64(v.CyclesPlausible))

@@ -66,70 +66,30 @@ func (a *Analyzer) RefinedKPairs(k int, budget KPairsBudget) Verdict {
 		v.MayDeadlock = true
 		return v
 	}
+	ws := witnessSet{}
 	for _, ci := range cycles {
 		if a.plausibleDeadlockCycle(ci) {
 			v.MayDeadlock = true
-			v.Witnesses = appendWitness(v.Witnesses, graph.Sorted(ci.Nodes))
+			ws.add(graph.Sorted(ci.Nodes))
 		}
 	}
 
-	// Phase 2: k compatible head-tail hypotheses in distinct tasks.
-	type ht struct{ h, t int }
-	var hyps []ht
-	for _, h := range a.PossibleHeads() {
-		for _, t := range a.tailCandidates(h) {
-			hyps = append(hyps, ht{h, t})
+	// Phase 2: k compatible head-tail hypotheses in distinct tasks, run on
+	// the parallel sweep engine. Enumeration stops at the budget, so on
+	// overflow exactly MaxHypothesisSets sets are tested (as the historical
+	// serial recursion did) before the fallback engages.
+	hyps, overflow := a.kPairHyps(k, budget.MaxHypothesisSets)
+	sv := a.sweep(AlgoRefinedKPairs, hyps)
+	v.Hypotheses += sv.Hypotheses
+	v.SCCRuns += sv.SCCRuns
+	if sv.MayDeadlock {
+		v.MayDeadlock = true
+		for _, w := range sv.Witnesses {
+			ws.add(w)
 		}
 	}
-	sets := 0
-	var chosen []ht
-	var rec func(start int) bool
-	rec = func(start int) bool {
-		if len(chosen) == k {
-			sets++
-			if sets > budget.MaxHypothesisSets {
-				return false
-			}
-			v.Hypotheses++
-			m := a.newMask()
-			for _, p := range chosen {
-				a.markHeadTail(m, p.h, p.t)
-			}
-			v.SCCRuns++
-			comp := a.sccThrough(m, a.CLG.In[chosen[0].h])
-			if comp == nil {
-				return true
-			}
-			for _, p := range chosen {
-				if !contains(comp, a.CLG.In[p.h]) || !contains(comp, a.CLG.Out[p.t]) {
-					return true
-				}
-			}
-			v.MayDeadlock = true
-			v.Witnesses = appendWitness(v.Witnesses, a.witnessNodes(comp))
-			return true
-		}
-		for i := start; i < len(hyps); i++ {
-			ok := true
-			for _, p := range chosen {
-				if !a.compatibleHeads(p.h, hyps[i].h) {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			chosen = append(chosen, hyps[i])
-			cont := rec(i + 1)
-			chosen = chosen[:len(chosen)-1]
-			if !cont {
-				return false
-			}
-		}
-		return true
-	}
-	if !rec(0) {
+	v.Witnesses = ws.list
+	if overflow {
 		// Budget exceeded: retry with a smaller k (sound — a deadlock
 		// joining >= k tasks also joins >= k-1).
 		if k > 2 {
@@ -155,7 +115,7 @@ func (a *Analyzer) compatibleHeads(h1, h2 int) bool {
 	return g.TaskOf[h1] != g.TaskOf[h2] &&
 		!a.Ord.Sequenceable(h1, h2) &&
 		!g.HasSyncEdge(h1, h2) &&
-		!a.Ord.NotCoexec[h1][h2]
+		!a.Ord.NotCoexec.Get(h1, h2)
 }
 
 // plausibleDeadlockCycle applies the necessary conditions a real deadlock
@@ -186,7 +146,7 @@ func (a *Analyzer) plausibleDeadlockCycle(ci CycleInfo) bool {
 	// and intermediates are future work of their tasks in the same run).
 	for _, h := range ci.Heads {
 		for _, n := range ci.Nodes {
-			if n != h && a.Ord.NotCoexec[h][n] {
+			if n != h && a.Ord.NotCoexec.Get(h, n) {
 				return false
 			}
 		}

@@ -91,7 +91,7 @@ func (i *Info) chain(nodes []int) ([]int, bool) {
 		for xi, x := range remaining {
 			ok := true
 			for yi, y := range remaining {
-				if xi != yi && !i.Precede[x][y] {
+				if xi != yi && !i.Precede.Get(x, y) {
 					ok = false
 					break
 				}

@@ -40,12 +40,19 @@
 // that they come from a separate analysis) and COACCEPT (same-type accept
 // nodes).
 //
+// Data plane: every relation is a bitset.Matrix — one uint64-packed row
+// per node — so membership tests are one mask and the strong-relation
+// fixed point closes Warshall-style by word-wide OR (bitset.OrExcept)
+// instead of per-element scans. TestBitsetMatchesReference pins the bit
+// matrices against the historical [][]bool construction.
+//
 // All ordering facts require a loop-free sync graph (run cfg.Unroll
 // first); with control cycles they degrade to empty, which only removes
 // detector markings and keeps everything conservative.
 package order
 
 import (
+	"repro/internal/bitset"
 	"repro/internal/cfg"
 	"repro/internal/graph"
 	"repro/internal/sg"
@@ -54,18 +61,18 @@ import (
 // Info holds ordering facts for one sync graph.
 type Info struct {
 	G *sg.Graph
-	// Precede[r][s] reports that s cannot be reached before r finished.
-	Precede [][]bool
-	// NoCohead[r][s] reports that r and s cannot both be deadlock heads
+	// Precede.Get(r, s) reports that s cannot be reached before r finished.
+	Precede bitset.Matrix
+	// NoCohead.Get(r, s) reports that r and s cannot both be deadlock heads
 	// on one anomalous wave (general rule 2; not transitive).
-	NoCohead [][]bool
-	// NotCoexec[r][s] reports r and s never execute in the same run.
-	NotCoexec [][]bool
+	NoCohead bitset.Matrix
+	// NotCoexec.Get(r, s) reports r and s never execute in the same run.
+	NotCoexec bitset.Matrix
 	// CoAccept[r] lists same-type accept nodes for accept r (empty for
 	// sends, per the paper's COACCEPT vector).
 	CoAccept [][]int
 	// LoopFree reports whether the control subgraph was acyclic; when
-	// false, Precede, NoCohead and NotCoexec are empty (conservative).
+	// false, Precede, NoCohead and NotCoexec are all-false (conservative).
 	LoopFree bool
 }
 
@@ -73,9 +80,9 @@ type Info struct {
 func Compute(g *sg.Graph) *Info {
 	n := g.N()
 	info := &Info{G: g}
-	info.Precede = newBoolMatrix(n)
-	info.NoCohead = newBoolMatrix(n)
-	info.NotCoexec = newBoolMatrix(n)
+	info.Precede = bitset.NewMatrix(n)
+	info.NoCohead = bitset.NewMatrix(n)
+	info.NotCoexec = bitset.NewMatrix(n)
 	info.CoAccept = make([][]int, n)
 
 	// COACCEPT is loop-independent.
@@ -112,7 +119,7 @@ func Compute(g *sg.Graph) *Info {
 				continue
 			}
 			if graph.Dominates(idom, g.B, r, s) {
-				info.Precede[r][s] = true
+				info.Precede.Set(r, s)
 			}
 		}
 	}
@@ -123,52 +130,44 @@ func Compute(g *sg.Graph) *Info {
 		for i, r := range nodes {
 			for _, s := range nodes[i+1:] {
 				if !reach[r][s] && !reach[s][r] {
-					info.NotCoexec[r][s] = true
-					info.NotCoexec[s][r] = true
+					info.NotCoexec.Set(r, s)
+					info.NotCoexec.Set(s, r)
 				}
 			}
 		}
 	}
 
 	// Mutually-unique partner pairs: r and s finish simultaneously.
-	mu := map[int]int{} // node -> its mutually unique partner, if any
+	type muPair struct{ r, s int }
+	var mu []muPair
 	for _, r := range rendezvous {
 		if len(g.Sync[r]) != 1 {
 			continue
 		}
 		s := g.Sync[r][0]
 		if len(g.Sync[s]) == 1 && g.Sync[s][0] == r {
-			mu[r] = s
+			mu = append(mu, muPair{r, s})
 		}
 	}
 
-	// Strong-relation fixed point: transitivity + MU transfer.
-	changed := true
-	for changed {
+	// Strong-relation fixed point, word-wide: MU transfer folds row r into
+	// row s masking the pair's own bits (simultaneous finishers cannot
+	// precede each other or their own completion); transitivity folds row b
+	// into row a for every established Precede(a, b), masking a's own bit
+	// (nothing precedes itself). Both are monotone, so the fixed point is
+	// the same relation the historical element-by-element loops reached.
+	for changed := true; changed; {
 		changed = false
-		// MU transfer: Precede(r, b) => Precede(s, b) for MU pair (r, s),
-		// unless b is s itself or s's partner (simultaneous finishers
-		// cannot precede each other or their own completion).
-		for r, s := range mu {
-			for _, b := range rendezvous {
-				if b == r || b == s {
-					continue
-				}
-				if info.Precede[r][b] && !info.Precede[s][b] {
-					info.Precede[s][b] = true
-					changed = true
-				}
+		for _, p := range mu {
+			if bitset.OrExcept(info.Precede.Row(p.s), info.Precede.Row(p.r), p.r, p.s) {
+				changed = true
 			}
 		}
-		// Transitivity.
 		for _, a := range rendezvous {
+			ra := info.Precede.Row(a)
 			for _, b := range rendezvous {
-				if !info.Precede[a][b] {
-					continue
-				}
-				for _, c := range rendezvous {
-					if info.Precede[b][c] && !info.Precede[a][c] && a != c {
-						info.Precede[a][c] = true
+				if a != b && ra.Get(b) {
+					if bitset.OrExcept(ra, info.Precede.Row(b), a, -1) {
 						changed = true
 					}
 				}
@@ -185,19 +184,19 @@ func Compute(g *sg.Graph) *Info {
 			continue
 		}
 		for _, t := range rendezvous {
-			if t == r || info.NoCohead[r][t] {
+			if t == r || info.NoCohead.Get(r, t) {
 				continue
 			}
 			all := true
 			for _, s := range partners {
-				if s == t || !info.Precede[s][t] {
+				if s == t || !info.Precede.Get(s, t) {
 					all = false
 					break
 				}
 			}
 			if all {
-				info.NoCohead[r][t] = true
-				info.NoCohead[t][r] = true
+				info.NoCohead.Set(r, t)
+				info.NoCohead.Set(t, r)
 			}
 		}
 	}
@@ -208,14 +207,14 @@ func Compute(g *sg.Graph) *Info {
 // direction) or cannot co-head a deadlocked wave — exactly the pairs the
 // detector may not hypothesize as joint heads.
 func (i *Info) Sequenceable(r, s int) bool {
-	return i.Precede[r][s] || i.Precede[s][r] || i.NoCohead[r][s]
+	return i.Precede.Get(r, s) || i.Precede.Get(s, r) || i.NoCohead.Get(r, s)
 }
 
 // SequenceableSet returns all nodes sequenceable with r (the paper's
 // SEQUENCEABLE[r] vector entry).
 func (i *Info) SequenceableSet(r int) []int {
 	var out []int
-	for s := range i.Precede {
+	for s := 0; s < i.Precede.N(); s++ {
 		if s != r && i.G.Nodes[s].IsRendezvous() && i.Sequenceable(r, s) {
 			out = append(out, s)
 		}
@@ -225,28 +224,15 @@ func (i *Info) SequenceableSet(r int) []int {
 
 // NotCoexecSet returns all nodes known never to co-execute with r.
 func (i *Info) NotCoexecSet(r int) []int {
-	var out []int
-	for s, bad := range i.NotCoexec[r] {
-		if bad {
-			out = append(out, s)
-		}
-	}
-	return out
+	return i.NotCoexec.Row(r).Members(nil)
 }
 
 // AddNotCoexec injects an external co-executability fact (symmetric),
 // mirroring the paper's assumption that such facts may come from a
-// separate static analysis.
+// separate static analysis. Callers must inject facts before the Info is
+// shared with a core.Analyzer: the analyzer snapshots the relation's
+// per-node sets at construction time.
 func (i *Info) AddNotCoexec(r, s int) {
-	i.NotCoexec[r][s] = true
-	i.NotCoexec[s][r] = true
-}
-
-func newBoolMatrix(n int) [][]bool {
-	m := make([][]bool, n)
-	buf := make([]bool, n*n)
-	for i := range m {
-		m[i], buf = buf[:n], buf[n:]
-	}
-	return m
+	i.NotCoexec.Set(r, s)
+	i.NotCoexec.Set(s, r)
 }

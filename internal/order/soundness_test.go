@@ -58,7 +58,7 @@ func findPrecedeViolations(g *sg.Graph, info *Info) [][2]int {
 				continue
 			}
 			for x := 0; x < g.N(); x++ {
-				if info.Precede[x][y] && !executed[x] {
+				if info.Precede.Get(x, y) && !executed[x] {
 					k := [2]int{x, y}
 					if !seenViolation[k] {
 						seenViolation[k] = true
@@ -127,15 +127,15 @@ func TestQuickPrecedeStrictPreorder(t *testing.T) {
 		info := Compute(g)
 		n := g.N()
 		for a := 0; a < n; a++ {
-			if info.Precede[a][a] {
+			if info.Precede.Get(a, a) {
 				return false
 			}
 			for b := 0; b < n; b++ {
-				if !info.Precede[a][b] {
+				if !info.Precede.Get(a, b) {
 					continue
 				}
 				for c := 0; c < n; c++ {
-					if info.Precede[b][c] && a != c && !info.Precede[a][c] {
+					if info.Precede.Get(b, c) && a != c && !info.Precede.Get(a, c) {
 						return false
 					}
 				}
@@ -170,7 +170,7 @@ func TestQuickNoCoheadSoundOnDeadlockWaves(t *testing.T) {
 		for _, set := range res {
 			for i, x := range set {
 				for _, y := range set[i+1:] {
-					if info.NoCohead[x][y] {
+					if info.NoCohead.Get(x, y) {
 						t.Logf("UNSOUND: NoCohead(%s, %s) on a real deadlock wave in\n%s",
 							g.Nodes[x], g.Nodes[y], p)
 						return false

@@ -61,7 +61,7 @@ func TestTheorem2OrderingFacts(t *testing.T) {
 	if posTop < 0 || negTop < 0 || other < 0 {
 		t.Fatal("top labels missing")
 	}
-	if !an.Ord.Precede[posTop][negTop] {
+	if !an.Ord.Precede.Get(posTop, negTop) {
 		t.Fatal("positive top must precede negative top of the same variable")
 	}
 	if an.Ord.Sequenceable(posTop, other) {

@@ -22,6 +22,12 @@ type Config struct {
 	// Workers bounds the number of analyses executing at once, across all
 	// requests (single and batch). 0 means GOMAXPROCS.
 	Workers int
+	// Parallelism sets the per-analysis sweep worker count passed to
+	// siwa.Options.Parallelism. 0 means 1 (serial): the worker pool
+	// already runs Workers analyses concurrently, so intra-analysis
+	// parallelism is opt-in for deployments that prioritize single-request
+	// latency over throughput. Negative means GOMAXPROCS.
+	Parallelism int
 	// QueueDepth bounds how many admitted analyses may wait for a worker
 	// slot; beyond it requests are shed with HTTP 429 and a Retry-After
 	// header instead of queueing without bound. 0 means 4x Workers;
@@ -73,6 +79,11 @@ func (c Config) Normalize() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	} else if c.Parallelism < 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.QueueDepth == 0 {
 		// Negative stays negative (NewPool clamps it to an empty queue),

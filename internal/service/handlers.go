@@ -195,10 +195,12 @@ func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options
 		return analyzeOutcome{report: res.Report, verdict: res.Verdict, cached: true}, nil
 	}
 	opt.Trace = wantTrace || s.cfg.TraceAll
-	// Limits and Degrade are service policy, not part of the content
-	// address: limits only turn requests into errors (never cached), and
-	// degraded reports are timing-dependent (also never cached).
+	// Limits, Parallelism and Degrade are service policy, not part of the
+	// content address: limits only turn requests into errors (never
+	// cached), parallelism never changes verdicts, and degraded reports
+	// are timing-dependent (also never cached).
 	opt.Limits = s.cfg.Limits
+	opt.Parallelism = s.cfg.Parallelism
 	var out analyzeOutcome
 	var runErr error
 	err := s.pool.Do(ctx, func() {

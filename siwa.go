@@ -146,6 +146,11 @@ type Options struct {
 	// the oversized allocation happens, so an adversarial nested-loop
 	// program is refused by arithmetic instead of exhausting memory.
 	Limits Limits
+	// Parallelism caps the worker count of the detector's hypothesis
+	// sweeps. 0 (the default) uses GOMAXPROCS; 1 forces serial execution.
+	// Verdicts are byte-identical at every setting — parallelism only
+	// changes wall-clock time — so this is purely a resource knob.
+	Parallelism int
 	// Degrade turns deadline and budget exhaustion in the expensive
 	// optional stages (Enumerate, Exact) into graceful degradation: the
 	// report keeps the already-computed polynomial verdict and is marked
@@ -332,6 +337,7 @@ func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, erro
 	}
 	if err := stage("clg", func(sp *Span) error {
 		rep.Analyzer = core.NewAnalyzerTraced(rep.Graph, sp)
+		rep.Analyzer.Parallelism = opt.Parallelism
 		return nil
 	}); err != nil {
 		return nil, err
