@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-json fuzz experiments examples server clean
+.PHONY: all build test race vet fmt bench bench-json fuzz experiments examples server gateway clean
 
 all: build vet test
 
@@ -19,6 +19,13 @@ race:
 ADDR ?= :8080
 server:
 	$(GO) run ./cmd/siwad-server -addr $(ADDR)
+
+# Run the cluster gateway over an existing fleet: make gateway
+# BACKENDS=http://a:8080,http://b:8080 (GWADDR overrides the address).
+GWADDR ?= :8090
+BACKENDS ?= http://127.0.0.1:8080
+gateway:
+	$(GO) run ./cmd/siwad-gateway -addr $(GWADDR) -backends $(BACKENDS)
 
 vet:
 	$(GO) vet ./...

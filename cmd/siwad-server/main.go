@@ -8,6 +8,7 @@
 //	POST /v1/analyze/batch  many programs, fanned out across the pool
 //	GET  /v1/algorithms     the detector spectrum with descriptions
 //	GET  /healthz           liveness probe
+//	GET  /readyz            readiness probe; 503 while starting or draining
 //	GET  /metrics           counters + latency histograms, Prometheus text
 //	GET  /debug/pprof/...   runtime profiles (only with -pprof)
 //

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// BenchmarkGatewayProxyOverhead measures what the gateway adds on the hot
+// path: a cache-hit analyze against one replica, requested directly over
+// HTTP versus through the gateway's handler (invoked in process, so both
+// variants contain exactly one real network hop and the delta is gateway
+// software — routing, single-flight, relay).
+func BenchmarkGatewayProxyOverhead(b *testing.B) {
+	s := service.New(service.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	g, err := New(Config{Backends: []string{ts.URL}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(service.AnalyzeRequest{Source: workload.Ring(8).String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Seed the replica cache so every measured request is a pure hit.
+	warm, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		b.Fatalf("warmup status=%d", warm.StatusCode)
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status=%d", resp.StatusCode)
+			}
+		}
+	})
+	b.Run("gateway", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			g.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status=%d body=%s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive transport failures are
+	// counted and trip the breaker at the threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the backend is presumed dead; all traffic is refused
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe request
+	// is in flight; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// Breaker is a per-backend circuit breaker over transport-level outcomes.
+// Only failures to reach the backend at all (dial/read errors) count as
+// failures — an HTTP error status proves the replica is alive, and e.g. a
+// 503 analysis timeout says something about the program, not the replica.
+// Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	state    BreakerState
+	failures int
+	until    time.Time // when open: earliest half-open probe time
+}
+
+// NewBreaker trips to open after threshold consecutive failures
+// (threshold < 1 is raised to 1) and allows a half-open probe after each
+// cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// State reports the current state (open flips to reflect an elapsed
+// cooldown only when a caller acquires the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Ready reports whether a request could be sent right now, without
+// consuming the half-open probe slot: true when closed, or when open with
+// the cooldown elapsed. Routing decisions that may not lead to an actual
+// send (e.g. batch sharding) use Ready; the send itself uses Acquire.
+func (b *Breaker) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return !b.now().Before(b.until)
+	}
+	return false // half-open: the probe slot is taken
+}
+
+// Acquire claims the right to send one request. In the open state with an
+// elapsed cooldown it transitions to half-open and grants exactly one
+// caller the probe; every send must be followed by Success or Fail.
+func (b *Breaker) Acquire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	}
+	return false
+}
+
+// Success records a reachable backend: half-open probes close the
+// breaker, and any success resets the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Fail records a transport failure: a failed half-open probe re-opens
+// immediately; in the closed state the breaker opens once threshold
+// consecutive failures accumulate.
+func (b *Breaker) Fail() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.failures = 0
+		b.until = b.now().Add(b.cooldown)
+	}
+}

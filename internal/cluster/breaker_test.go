@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Fail()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures: state=%v", i+1, got)
+		}
+	}
+	b.Fail()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after threshold failures: state=%v", got)
+	}
+	if b.Ready() || b.Acquire() {
+		t.Fatal("open breaker inside cooldown must refuse traffic")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Fail()
+	b.Fail()
+	b.Success()
+	b.Fail()
+	b.Fail()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Fail()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state=%v", got)
+	}
+	clk.advance(time.Second)
+	// Cooldown elapsed: Ready is true but does not consume the slot.
+	if !b.Ready() || !b.Ready() {
+		t.Fatal("Ready must be repeatable after the cooldown")
+	}
+	if !b.Acquire() {
+		t.Fatal("first Acquire after cooldown must grant the probe")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state=%v, want half-open", got)
+	}
+	if b.Ready() || b.Acquire() {
+		t.Fatal("half-open breaker must admit exactly one probe")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("successful probe should close: %v", got)
+	}
+	if !b.Acquire() {
+		t.Fatal("closed breaker must admit traffic")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Second)
+	b.Fail()
+	b.Fail()
+	clk.advance(time.Second)
+	if !b.Acquire() {
+		t.Fatal("probe not granted")
+	}
+	b.Fail() // one failed probe, not threshold-many, re-opens immediately
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state=%v, want open", got)
+	}
+	if b.Acquire() {
+		t.Fatal("re-opened breaker must wait out a fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Acquire() {
+		t.Fatal("second cooldown must grant another probe")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "?",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("State(%d).String()=%q, want %q", int(state), got, want)
+		}
+	}
+}
+
+func TestBreakerMinimumThreshold(t *testing.T) {
+	b, _ := newTestBreaker(0, time.Second)
+	b.Fail()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("threshold<1 must be raised to 1; state=%v", got)
+	}
+}

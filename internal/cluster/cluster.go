@@ -1,0 +1,389 @@
+// Package cluster implements the siwa cluster gateway: a client-side
+// routing front end that fans /v1/analyze and /v1/analyze/batch traffic
+// out across N siwad-server replicas.
+//
+// Routing is by program digest on a consistent-hash ring (ring.go): the
+// detectors are pure functions of program text, so sending each program
+// to the replica that already analyzed it makes the fleet's aggregate
+// cache hit rate match a single node's. Replica failure is handled by
+// active /healthz + /readyz probing (health.go) plus per-backend circuit
+// breakers over transport outcomes (breaker.go); a dead backend's keys
+// move to each key's ring successor and everything else stays put.
+//
+// The proxy path (proxy.go) deduplicates identical in-flight analyze
+// bodies (single-flight), retries 429/503 responses with bounded backoff
+// honoring upstream Retry-After, and otherwise relays upstream bodies
+// byte-for-byte — the gateway never rewraps a well-formed error from the
+// service error taxonomy. Batches (batch.go) are sharded by digest,
+// streamed to each owner in chunks, and merged back in request order;
+// items whose replica dies mid-flight come back with the taxonomy code
+// "unavailable" instead of failing the batch. cmd/siwad-gateway wires
+// this package to flags and signals.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Config shapes a Gateway. The zero value is not usable directly; call
+// Normalize (New does) to fill unset fields.
+type Config struct {
+	// Addr is the listen address for Gateway.Run ("host:port").
+	Addr string
+	// Backends are the replica base URLs ("http://host:port"), the ring
+	// membership. Order does not affect routing — ring points hash the
+	// URL, not the index — so config reordering never reshuffles keys.
+	Backends []string
+	// VirtualNodes is the number of ring points per backend. 0 means 64.
+	VirtualNodes int
+	// HealthInterval is the active probe period. 0 means 2s.
+	HealthInterval time.Duration
+	// HealthTimeout bounds each probe round trip. 0 means 1s.
+	HealthTimeout time.Duration
+	// BreakerThreshold is how many consecutive transport failures open a
+	// backend's circuit breaker. 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// allowing a half-open probe. 0 means 2s.
+	BreakerCooldown time.Duration
+	// MaxRetries bounds additional attempts after an upstream 429/503 on
+	// the analyze proxy path (total attempts = MaxRetries+1). Negative
+	// disables retries. 0 means 2.
+	MaxRetries int
+	// RetryBackoff is the base retry delay, doubled per attempt; an
+	// upstream Retry-After header overrides it. 0 means 25ms.
+	RetryBackoff time.Duration
+	// RetryAfterCap clamps how long the gateway will honor an upstream
+	// Retry-After hint before retrying. 0 means 2s.
+	RetryAfterCap time.Duration
+	// BatchChunk is how many items of one backend's batch share go into
+	// each upstream sub-batch request: small chunks stream a large batch
+	// through the fleet and bound the blast radius of a mid-batch replica
+	// death to one chunk. 0 means 16.
+	BatchChunk int
+	// MaxBatch caps the number of programs in one gateway batch request.
+	// 0 means 1024.
+	MaxBatch int
+	// MaxBodyBytes caps inbound request bodies. 0 means 4 MiB.
+	MaxBodyBytes int64
+	// ShutdownGrace bounds the drain after Run's context is cancelled.
+	// 0 means 10s.
+	ShutdownGrace time.Duration
+	// Logger receives one structured record per proxied request. Nil
+	// disables request logging.
+	Logger *slog.Logger
+}
+
+// Normalize fills unset fields with their defaults and returns the result.
+func (c Config) Normalize() Config {
+	if c.Addr == "" {
+		c.Addr = ":8090"
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.RetryAfterCap <= 0 {
+		c.RetryAfterCap = 2 * time.Second
+	}
+	if c.BatchChunk <= 0 {
+		c.BatchChunk = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	return c
+}
+
+// backend is one replica's runtime state: admin identity, the latest
+// active-probe verdict, and the circuit breaker over transport outcomes.
+type backend struct {
+	name    string // base URL, also the ring point seed
+	breaker *Breaker
+	up      atomic.Bool // latest /healthz + /readyz verdict; starts true
+}
+
+// eligible reports whether new work may be routed here right now, without
+// consuming the breaker's half-open probe slot.
+func (b *backend) eligible() bool { return b.up.Load() && b.breaker.Ready() }
+
+// Gateway routes analyze traffic across the configured replicas.
+// Construct with New; serve with Run, or mount Handler under httptest and
+// drive probes via CheckNow/RunChecker. Safe for concurrent use.
+type Gateway struct {
+	cfg      Config
+	ring     *Ring
+	backends []*backend
+	metrics  *Metrics
+	flights  *flightGroup
+	client   *http.Client
+	handler  http.Handler
+	reqID    atomic.Uint64
+	draining atomic.Bool
+}
+
+// New builds a Gateway over cfg.Backends (at least one required).
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.Normalize()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	seen := map[string]bool{}
+	for _, b := range cfg.Backends {
+		if seen[b] {
+			return nil, fmt.Errorf("cluster: duplicate backend %q", b)
+		}
+		seen[b] = true
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Backends, cfg.VirtualNodes),
+		flights: newFlightGroup(),
+		// One shared client: keep-alive connection reuse to every replica
+		// is what keeps the proxy hop cheap.
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+	}
+	for _, name := range cfg.Backends {
+		b := &backend{
+			name:    name,
+			breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		}
+		b.up.Store(true) // optimistic until the first probe says otherwise
+		g.backends = append(g.backends, b)
+	}
+	g.metrics = newMetrics(g)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", g.handleAnalyze)
+	mux.HandleFunc("POST /v1/analyze/batch", g.handleBatch)
+	mux.HandleFunc("GET /v1/algorithms", g.handleAlgorithms)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.handler = g.recoverPanics(g.withRequestID(mux))
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler, for mounting or httptest.
+func (g *Gateway) Handler() http.Handler { return g.handler }
+
+// Metrics exposes the live counters (shared, not a snapshot).
+func (g *Gateway) Metrics() *Metrics { return g.metrics }
+
+// Ring exposes the routing ring (immutable), so tests and tooling can
+// predict which backend owns a digest.
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// BreakerState reports backend i's circuit-breaker state.
+func (g *Gateway) BreakerState(i int) BreakerState { return g.backends[i].breaker.State() }
+
+// BackendUp reports backend i's latest active-probe verdict.
+func (g *Gateway) BackendUp(i int) bool { return g.backends[i].up.Load() }
+
+// writeJSON mirrors the replica wire format (indented JSON) for
+// gateway-authored bodies; proxied bodies are relayed verbatim instead.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorResponse is the wire shape of gateway-authored errors — the same
+// {"error":{code,message}} taxonomy the replicas speak.
+type errorResponse struct {
+	Error service.ErrorBody `json:"error"`
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: service.ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// recoverPanics turns a panic on the request goroutine into a structured
+// 500, keeping the gateway serving.
+func (g *Gateway) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			g.metrics.Panics.Add(1)
+			if g.cfg.Logger != nil {
+				g.cfg.Logger.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+					slog.String("endpoint", r.URL.Path),
+					slog.String("panic", fmt.Sprint(rec)),
+					slog.String("stack", string(debug.Stack())))
+			}
+			g.writeError(w, http.StatusInternalServerError, service.CodeInternal,
+				"internal error: %v", rec)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withRequestID accepts or mints the X-Request-Id, echoes it on the
+// gateway response, and stashes it in the context; the proxy path copies
+// it onto upstream requests so one id traces gateway -> replica.
+func (g *Gateway) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if !validRequestID(id) {
+			id = "gw-" + strconv.FormatUint(g.reqID.Add(1), 10)
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// requestIDKey carries the per-request correlation id in the context.
+type requestIDKey struct{}
+
+// requestID returns the correlation id assigned by withRequestID.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// validRequestID mirrors the replica's header hygiene: 1-128 printable
+// ASCII characters, no spaces.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// logRequest emits one structured record per gateway request.
+func (g *Gateway) logRequest(r *http.Request, endpoint string, status int, start time.Time, attrs ...slog.Attr) {
+	if g.cfg.Logger == nil {
+		return
+	}
+	common := []slog.Attr{
+		slog.String("id", requestID(r.Context())),
+		slog.String("endpoint", endpoint),
+		slog.Int("status", status),
+		slog.Float64("ms", float64(time.Since(start))/float64(time.Millisecond)),
+	}
+	g.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "gateway request", append(common, attrs...)...)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports whether the gateway can do useful work: at least
+// one backend must be routable. A draining gateway is never ready.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	eligible := 0
+	for _, b := range g.backends {
+		if b.eligible() {
+			eligible++
+		}
+	}
+	status, state := http.StatusOK, "ready"
+	switch {
+	case g.draining.Load():
+		status, state = http.StatusServiceUnavailable, "draining"
+	case eligible == 0:
+		status, state = http.StatusServiceUnavailable, "no backend available"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"backends": len(g.backends),
+		"eligible": eligible,
+	})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.metrics.WriteTo(w, g)
+}
+
+// Run listens on the configured address, starts the health checker, and
+// serves until ctx is cancelled, then drains like the replica server.
+func (g *Gateway) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", g.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return g.Serve(ctx, ln)
+}
+
+// Serve is Run on a caller-provided listener. It owns ln and closes it on
+// return.
+func (g *Gateway) Serve(ctx context.Context, ln net.Listener) error {
+	cctx, stopChecker := context.WithCancel(ctx)
+	defer stopChecker()
+	go g.RunChecker(cctx)
+	hs := &http.Server{
+		Handler:           g.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	g.draining.Store(true)
+	sctx, cancel := context.WithTimeout(context.Background(), g.cfg.ShutdownGrace)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}

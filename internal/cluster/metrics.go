@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// BackendMetrics holds one replica's per-backend counters and the
+// request-latency histogram, all updated atomically.
+type BackendMetrics struct {
+	Name     string
+	Requests atomic.Uint64 // upstream requests attempted (probes excluded)
+	Failures atomic.Uint64 // transport-level failures (fed the breaker)
+	Latency  *obs.Histogram
+}
+
+// Metrics holds the gateway counters, exported by GET /metrics in the
+// same hand-rolled Prometheus text format the replicas use.
+type Metrics struct {
+	RequestsAnalyze atomic.Uint64 // POST /v1/analyze requests received
+	RequestsBatch   atomic.Uint64 // POST /v1/analyze/batch requests received
+	Dedup           atomic.Uint64 // analyze calls served by single-flight sharing
+	Retries         atomic.Uint64 // upstream 429/503 responses retried
+	Unavailable     atomic.Uint64 // requests/items that found no reachable backend
+	Panics          atomic.Uint64 // panics recovered in gateway handlers
+
+	ItemsOK          atomic.Uint64 // batch items proxied successfully
+	ItemsError       atomic.Uint64 // batch items with an upstream error code
+	ItemsUnavailable atomic.Uint64 // batch items lost to a dead replica
+
+	perBackend map[string]*BackendMetrics
+	order      []string // stable exposition order = config order
+}
+
+func newMetrics(g *Gateway) *Metrics {
+	m := &Metrics{perBackend: make(map[string]*BackendMetrics, len(g.backends))}
+	for _, b := range g.backends {
+		m.perBackend[b.name] = &BackendMetrics{
+			Name:    b.name,
+			Latency: obs.NewHistogram(obs.LatencyBuckets()...),
+		}
+		m.order = append(m.order, b.name)
+	}
+	return m
+}
+
+// backend returns the per-backend metric block (fixed at construction).
+func (m *Metrics) backend(name string) *BackendMetrics { return m.perBackend[name] }
+
+// WriteTo renders the exposition. Families and label sets come out in a
+// fixed order (config order for backends) so scrapes are reproducible.
+func (m *Metrics) WriteTo(w io.Writer, g *Gateway) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP siwa_gateway_requests_total requests received by the gateway\n# TYPE siwa_gateway_requests_total counter\n")
+	fmt.Fprintf(w, "siwa_gateway_requests_total{endpoint=%q} %d\n", "analyze", m.RequestsAnalyze.Load())
+	fmt.Fprintf(w, "siwa_gateway_requests_total{endpoint=%q} %d\n", "batch", m.RequestsBatch.Load())
+	counter("siwa_gateway_singleflight_dedup_total", "analyze requests served by sharing an identical in-flight upstream call", m.Dedup.Load())
+	counter("siwa_gateway_retries_total", "upstream 429/503 responses retried with backoff", m.Retries.Load())
+	counter("siwa_gateway_unavailable_total", "requests or batch items that found no reachable backend", m.Unavailable.Load())
+	counter("siwa_gateway_panics_total", "panics recovered in gateway handlers", m.Panics.Load())
+	fmt.Fprintf(w, "# HELP siwa_gateway_batch_items_total per-item outcomes inside proxied batches\n# TYPE siwa_gateway_batch_items_total counter\n")
+	fmt.Fprintf(w, "siwa_gateway_batch_items_total{outcome=%q} %d\n", "ok", m.ItemsOK.Load())
+	fmt.Fprintf(w, "siwa_gateway_batch_items_total{outcome=%q} %d\n", "error", m.ItemsError.Load())
+	fmt.Fprintf(w, "siwa_gateway_batch_items_total{outcome=%q} %d\n", "unavailable", m.ItemsUnavailable.Load())
+
+	fmt.Fprintf(w, "# HELP siwa_gateway_backend_requests_total upstream requests per backend\n# TYPE siwa_gateway_backend_requests_total counter\n")
+	for _, name := range m.order {
+		fmt.Fprintf(w, "siwa_gateway_backend_requests_total{backend=%q} %d\n", name, m.perBackend[name].Requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP siwa_gateway_backend_failures_total transport-level failures per backend\n# TYPE siwa_gateway_backend_failures_total counter\n")
+	for _, name := range m.order {
+		fmt.Fprintf(w, "siwa_gateway_backend_failures_total{backend=%q} %d\n", name, m.perBackend[name].Failures.Load())
+	}
+	fmt.Fprintf(w, "# HELP siwa_gateway_backend_up latest active health probe verdict (1 up, 0 down)\n# TYPE siwa_gateway_backend_up gauge\n")
+	for _, b := range g.backends {
+		up := 0
+		if b.up.Load() {
+			up = 1
+		}
+		fmt.Fprintf(w, "siwa_gateway_backend_up{backend=%q} %d\n", b.name, up)
+	}
+	fmt.Fprintf(w, "# HELP siwa_gateway_breaker_state circuit breaker state per backend (0 closed, 1 open, 2 half-open)\n# TYPE siwa_gateway_breaker_state gauge\n")
+	for _, b := range g.backends {
+		fmt.Fprintf(w, "siwa_gateway_breaker_state{backend=%q} %d\n", b.name, int(b.breaker.State()))
+	}
+	fmt.Fprintf(w, "# HELP siwa_gateway_ring_ownership_millionths fraction of the hash keyspace owned, in millionths\n# TYPE siwa_gateway_ring_ownership_millionths gauge\n")
+	own := g.ring.Ownership()
+	for i, name := range m.order {
+		fmt.Fprintf(w, "siwa_gateway_ring_ownership_millionths{backend=%q} %d\n", name, int64(own[i]*1e6+0.5))
+	}
+	fmt.Fprintf(w, "# HELP siwa_gateway_backend_request_seconds upstream request wall time by backend\n# TYPE siwa_gateway_backend_request_seconds histogram\n")
+	for _, name := range m.order {
+		m.perBackend[name].Latency.WriteProm(w, "siwa_gateway_backend_request_seconds", "backend", name)
+	}
+}

@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+// upstream is one replica response, captured whole so it can be relayed
+// byte-for-byte (and shared across single-flight waiters). Only the
+// headers the gateway forwards are kept.
+type upstream struct {
+	status      int
+	contentType string
+	retryAfter  string
+	body        []byte
+	backend     string
+}
+
+// relay writes an upstream response to the client unchanged: same status,
+// same body bytes. The gateway never rewraps a well-formed upstream error.
+func (u *upstream) relay(w http.ResponseWriter) {
+	if u.contentType != "" {
+		w.Header().Set("Content-Type", u.contentType)
+	}
+	if u.retryAfter != "" {
+		w.Header().Set("Retry-After", u.retryAfter)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(u.body)))
+	w.WriteHeader(u.status)
+	w.Write(u.body)
+}
+
+// readAllSized is io.ReadAll with a capacity hint, so relaying a response
+// whose length is known up front costs one allocation instead of a
+// doubling growth chain.
+func readAllSized(r io.Reader, sizeHint int64) ([]byte, error) {
+	if sizeHint <= 0 || sizeHint > 1<<24 {
+		return io.ReadAll(r)
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, sizeHint+1))
+	_, err := buf.ReadFrom(r)
+	return buf.Bytes(), err
+}
+
+// unavailableError reports that a backend could not be reached at the
+// transport level; the breaker has already been fed.
+type unavailableError struct {
+	backend string
+	err     error
+}
+
+func (e *unavailableError) Error() string {
+	return fmt.Sprintf("replica %s unreachable: %v", e.backend, e.err)
+}
+
+// errNoBackend means routing found no eligible backend at all.
+var errNoBackend = errors.New("no healthy backend available")
+
+// send performs one upstream request and feeds the backend's breaker: any
+// HTTP response (whatever the status) proves the replica reachable; a
+// transport error counts toward opening the circuit. The fault point
+// "gateway.forward" fires before the network touch, so chaos tests can
+// slow or sever the proxy path without real packet loss.
+func (g *Gateway) send(ctx context.Context, b *backend, method, path string, body []byte, reqID string) (*upstream, error) {
+	bm := g.metrics.backend(b.name)
+	bm.Requests.Add(1)
+	start := time.Now()
+	if err := fault.Inject("gateway.forward"); err != nil {
+		bm.Failures.Add(1)
+		b.breaker.Fail()
+		return nil, err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.name+path, rd)
+	if err != nil {
+		b.breaker.Success() // config bug, not a backend failure
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if reqID != "" {
+		req.Header.Set("X-Request-Id", reqID)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The client went away or the deadline passed mid-send; that
+			// says nothing about the backend.
+			return nil, ctx.Err()
+		}
+		bm.Failures.Add(1)
+		b.breaker.Fail()
+		return nil, err
+	}
+	data, err := readAllSized(resp.Body, resp.ContentLength)
+	resp.Body.Close()
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		bm.Failures.Add(1)
+		b.breaker.Fail()
+		return nil, err
+	}
+	b.breaker.Success()
+	bm.Latency.Observe(time.Since(start))
+	return &upstream{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		retryAfter:  resp.Header.Get("Retry-After"),
+		body:        data,
+		backend:     b.name,
+	}, nil
+}
+
+// sleepRetry waits out the backoff before a retry attempt: the base
+// doubles per attempt, and an upstream Retry-After hint overrides it
+// (clamped to RetryAfterCap — the gateway holds a client connection while
+// it waits, so it will not honor a multi-minute hint). Returns false if
+// ctx expired first.
+func (g *Gateway) sleepRetry(ctx context.Context, attempt int, retryAfter string) bool {
+	d := g.cfg.RetryBackoff << attempt
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+		if d > g.cfg.RetryAfterCap {
+			d = g.cfg.RetryAfterCap
+		}
+	}
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// forward routes one request body to the digest's owner, with bounded
+// retry: 429 (shed) and 503 (timeout/unavailable) responses are retried
+// against the next ring candidate after backing off, up to MaxRetries
+// extra attempts; when retries run out the last upstream response is
+// relayed verbatim. A transport failure is NOT retried — the items in
+// flight to a dying replica surface as "unavailable" immediately, the
+// breaker opens after the threshold, and subsequent requests route
+// around the corpse.
+func (g *Gateway) forward(ctx context.Context, d Digest, path string, body []byte, reqID string) (*upstream, error) {
+	elig := make([]*backend, 0, len(g.backends))
+	for _, ci := range g.ring.Candidates(d) {
+		if b := g.backends[ci]; b.eligible() {
+			elig = append(elig, b)
+		}
+	}
+	if len(elig) == 0 {
+		return nil, errNoBackend
+	}
+	var last *upstream
+	for attempt := 0; attempt <= g.cfg.MaxRetries; attempt++ {
+		b := elig[attempt%len(elig)]
+		if !b.breaker.Acquire() {
+			continue // lost the half-open probe slot; try the next candidate
+		}
+		res, err := g.send(ctx, b, http.MethodPost, path, body, reqID)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, &unavailableError{backend: b.name, err: err}
+		}
+		if res.status != http.StatusTooManyRequests && res.status != http.StatusServiceUnavailable {
+			return res, nil
+		}
+		last = res
+		if attempt == g.cfg.MaxRetries {
+			break
+		}
+		g.metrics.Retries.Add(1)
+		if !g.sleepRetry(ctx, attempt, res.retryAfter) {
+			break
+		}
+	}
+	if last != nil {
+		return last, nil
+	}
+	return nil, errNoBackend
+}
+
+// flight is one in-progress upstream analyze call; followers block on
+// done and share the result.
+type flight struct {
+	done chan struct{}
+	res  *upstream
+	err  error
+}
+
+// flightGroup deduplicates identical in-flight analyze requests, keyed by
+// the SHA-256 of the raw request body (source, options, trace flag — an
+// exact match, so no response is ever shared across differing requests).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[[sha256.Size]byte]*flight)}
+}
+
+// do runs fn once per key among concurrent callers: the leader executes,
+// followers wait and share the leader's result. shared reports whether
+// this caller was a follower.
+func (fg *flightGroup) do(ctx context.Context, key [sha256.Size]byte, fn func() (*upstream, error)) (res *upstream, err error, shared bool) {
+	fg.mu.Lock()
+	if f, ok := fg.m[key]; ok {
+		fg.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, f.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	fg.m[key] = f
+	fg.mu.Unlock()
+	f.res, f.err = fn()
+	fg.mu.Lock()
+	delete(fg.m, key)
+	fg.mu.Unlock()
+	close(f.done)
+	return f.res, f.err, false
+}
+
+// readBody slurps the request body under the configured cap.
+func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	hint := r.ContentLength
+	if hint > g.cfg.MaxBodyBytes {
+		hint = 0 // let MaxBytesReader fail it without a giant allocation
+	}
+	data, err := readAllSized(r.Body, hint)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			g.writeError(w, http.StatusRequestEntityTooLarge, service.CodeTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return nil, err
+		}
+		g.writeError(w, http.StatusBadRequest, service.CodeInvalidRequest,
+			"read body: %v", err)
+		return nil, err
+	}
+	return data, nil
+}
+
+// writeRouteError maps a forward() failure onto the taxonomy: everything
+// that kept the analysis from being attempted is "unavailable" (the
+// client should back off and retry — the ring will have healed), except a
+// client-side deadline, which stays "timeout".
+func (g *Gateway) writeRouteError(w http.ResponseWriter, err error) (status int, code string) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		g.writeError(w, http.StatusServiceUnavailable, service.CodeTimeout,
+			"request aborted: %v", err)
+		return http.StatusServiceUnavailable, service.CodeTimeout
+	}
+	g.metrics.Unavailable.Add(1)
+	w.Header().Set("Retry-After", "1")
+	g.writeError(w, http.StatusServiceUnavailable, service.CodeUnavailable, "%v", err)
+	return http.StatusServiceUnavailable, service.CodeUnavailable
+}
+
+func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	g.metrics.RequestsAnalyze.Add(1)
+	start := time.Now()
+	body, err := g.readBody(w, r)
+	if err != nil {
+		return
+	}
+	// The gateway needs only the source (for the routing digest); the
+	// replica owns full validation. A body that is not JSON at all cannot
+	// be routed and is rejected here.
+	var req struct {
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		g.writeError(w, http.StatusBadRequest, service.CodeInvalidRequest,
+			"invalid request body: %v", err)
+		return
+	}
+	res, err, shared := g.flights.do(r.Context(), sha256.Sum256(body), func() (*upstream, error) {
+		return g.forward(r.Context(), DigestOf(req.Source), "/v1/analyze", body, requestID(r.Context()))
+	})
+	if shared {
+		g.metrics.Dedup.Add(1)
+	}
+	if err != nil {
+		status, code := g.writeRouteError(w, err)
+		g.logRequest(r, "analyze", status, start, slog.String("code", code))
+		return
+	}
+	res.relay(w)
+	g.logRequest(r, "analyze", res.status, start,
+		slog.String("backend", res.backend),
+		slog.Bool("deduped", shared))
+}
+
+// handleAlgorithms relays the detector listing from any live replica —
+// the listing is identical fleet-wide, so the first eligible backend
+// wins and transport failures just try the next.
+func (g *Gateway) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	for _, b := range g.backends {
+		if !b.eligible() || !b.breaker.Acquire() {
+			continue
+		}
+		res, err := g.send(r.Context(), b, http.MethodGet, "/v1/algorithms", nil, requestID(r.Context()))
+		if err != nil {
+			if r.Context().Err() != nil {
+				break
+			}
+			continue
+		}
+		res.relay(w)
+		return
+	}
+	g.writeRouteError(w, errNoBackend)
+}

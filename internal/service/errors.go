@@ -35,6 +35,12 @@ const (
 	// CodeInternal: a pipeline stage or handler panicked; the panic was
 	// contained and the server keeps serving. HTTP 500.
 	CodeInternal = "internal"
+	// CodeUnavailable: the analysis could not be attempted because the
+	// backend that owns it is unreachable (dead replica, open circuit
+	// breaker, no healthy backend). Emitted by the cluster gateway, never
+	// by a replica itself; listed here so the taxonomy stays in one place.
+	// HTTP 503 with Retry-After.
+	CodeUnavailable = "unavailable"
 )
 
 // ErrorBody is the wire shape of one error: a stable machine-readable

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -290,7 +291,8 @@ func (s *Server) logRequest(r *http.Request, id string, endpoint string, status 
 	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request", append(common, attrs...)...)
 }
 
-// nextRequestID mints a process-unique request id for log correlation.
+// nextRequestID mints a process-unique request id, used when a request
+// arrives without an acceptable X-Request-Id of its own.
 func (s *Server) nextRequestID() string {
 	return fmt.Sprintf("req-%06d", s.reqID.Add(1))
 }
@@ -301,7 +303,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer s.metrics.InFlight.Add(-1)
 	start := time.Now()
 	defer func() { s.metrics.ObserveRequest("analyze", time.Since(start)) }()
-	id := s.nextRequestID()
+	id := RequestID(r.Context())
 	var req AnalyzeRequest
 	if status, code, err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, status, code, "%v", err)
@@ -349,12 +351,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// Timeouts and sheds are load conditions, not client errors: they
 		// count under their own metrics, not siwa_request_errors_total.
 		s.metrics.Timeouts.Add(1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		msg = fmt.Sprintf("analysis aborted: %v", err)
 		writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg}})
 	case CodeShed:
 		s.metrics.Shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg}})
 	default:
 		s.writeError(w, status, code, "%s", msg)
@@ -371,7 +373,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.metrics.InFlight.Add(-1)
 	start := time.Now()
 	defer func() { s.metrics.ObserveRequest("batch", time.Since(start)) }()
-	id := s.nextRequestID()
+	id := RequestID(r.Context())
 	var req BatchRequest
 	if status, code, err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, status, code, "%v", err)
@@ -514,6 +516,48 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe, distinct from liveness: a draining
+// server (graceful shutdown in progress) or one whose pool is not up yet
+// answers 503 so load balancers stop routing new work here, while
+// /healthz stays green because the process is alive and finishing
+// in-flight requests. The cluster gateway's health checker consumes this.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// retryAfterSeconds derives the Retry-After hint for shed and timeout
+// responses from current congestion: with `queued` analyses already
+// waiting and `workers` slots draining them, a retry has no chance of
+// admission for roughly queued/workers analysis-slot turns, so the hint
+// grows with the backlog instead of the old constant 1. Bounds: never
+// below 1 (an empty queue still wants a beat of backoff), never above 30
+// (past that the client should give up, not sleep).
+func retryAfterSeconds(queued, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	hint := 1 + queued/workers
+	if hint > 30 {
+		hint = 30
+	}
+	return hint
+}
+
+// setRetryAfter stamps the derived backoff hint on a shed/timeout response.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.pool.Queued(), s.pool.Size())))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

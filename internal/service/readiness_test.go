@@ -1,0 +1,194 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// TestReadyzLifecycle: a fresh server is ready; once Serve starts
+// draining, /readyz flips to 503 while /healthz stays green, so load
+// balancers stop sending work before the process disappears.
+func TestReadyzLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{ShutdownGrace: time.Second})
+	code, body := getBody(t, ts.URL+"/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("fresh /readyz=%d body=%s", code, body)
+	}
+
+	// Run the real serve loop on its own listener; the httptest server
+	// shares the same handler (and thus the same draining flag), so it
+	// stays reachable after the real listener shuts down.
+	ln := newLocalListener(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	waitFor(t, "serve up", func() bool {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/readyz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	code, body = getBody(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining /readyz=%d body=%s", code, body)
+	}
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz=%d while draining, want 200 (liveness is not readiness)", code)
+	}
+}
+
+// TestRequestIDEchoAndGeneration: a client-supplied X-Request-Id is
+// echoed back; absent or malformed ids are replaced with a server-minted
+// one.
+func TestRequestIDEchoAndGeneration(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(AnalyzeRequest{Source: workload.Ring(3).String()})
+
+	send := func(id string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if id != "" {
+			req.Header.Set("X-Request-Id", id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if got := send("client-id-7").Header.Get("X-Request-Id"); got != "client-id-7" {
+		t.Fatalf("echoed id=%q, want client-id-7", got)
+	}
+	if got := send("").Header.Get("X-Request-Id"); !strings.HasPrefix(got, "req-") {
+		t.Fatalf("generated id=%q, want req- prefix", got)
+	}
+	for _, bad := range []string{"has space", "tab\tchar", strings.Repeat("x", 129), "non-ascii-\xc3\xa9"} {
+		if got := send(bad).Header.Get("X-Request-Id"); !strings.HasPrefix(got, "req-") {
+			t.Fatalf("malformed id %q kept as %q", bad, got)
+		}
+	}
+}
+
+// TestRequestIDInLog: the structured request log carries the correlation
+// id the client sent, tying gateway/client traces to replica records.
+func TestRequestIDInLog(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{mu: &mu, w: &buf}, nil))
+	_, ts := newTestServer(t, Config{Logger: logger})
+
+	body, _ := json.Marshal(AnalyzeRequest{Source: workload.Ring(3).String()})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "corr-xyz")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	waitFor(t, "log record", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return strings.Contains(buf.String(), `"id":"corr-xyz"`)
+	})
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// TestRetryAfterSeconds pins the derived backpressure hint: one second
+// floor when the queue is empty, plus the queue's depth measured in
+// worker-rounds, clamped to 30s.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		queued, workers, want int
+	}{
+		{0, 8, 1},     // empty queue: minimal hint
+		{7, 8, 1},     // less than one round of work: still 1 (integer division)
+		{32, 8, 5},    // four rounds queued: 1 + 32/8
+		{1000, 1, 30}, // clamped: never tell a client to wait forever
+		{5, 0, 6},     // degenerate pool size is raised to 1
+		{-3, 4, 1},    // negative depth (racy read) treated as empty
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.queued, tc.workers); got != tc.want {
+			t.Errorf("retryAfterSeconds(%d, %d)=%d, want %d", tc.queued, tc.workers, got, tc.want)
+		}
+	}
+}
+
+// TestShedRetryAfterDerived fills the pool and queue deterministically
+// and checks the 429's Retry-After reflects the actual backlog rather
+// than a hard-coded constant.
+func TestShedRetryAfterDerived(t *testing.T) {
+	defer fault.Reset()
+	fault.Set("service.analyze", fault.Mode{Kind: fault.KindDelay, Delay: 200 * time.Millisecond})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ { // 1 running + 2 queued
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _, _ := analyze(t, ts.URL, AnalyzeRequest{Source: workload.Ring(3 + i).String()})
+			if code != http.StatusOK {
+				t.Errorf("backlog request %d: status=%d", i, code)
+			}
+		}(i)
+	}
+	waitFor(t, "full queue", func() bool {
+		return s.pool.InFlight() == 1 && s.pool.Queued() == 2
+	})
+
+	resp, data := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Source: workload.Ring(9).String()})
+	wg.Wait()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status=%d body=%s", resp.StatusCode, data)
+	}
+	// Queue of 2, one worker: 1 + 2/1 = 3 seconds.
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After=%q, want \"3\" (derived from queue depth / pool size)", got)
+	}
+}

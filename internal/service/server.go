@@ -19,12 +19,14 @@ import (
 // cache, worker pool, and metrics. Construct with New; serve with Run (or
 // mount Handler in a larger mux). All methods are safe for concurrent use.
 type Server struct {
-	cfg     Config
-	cache   *Cache // nil when caching is disabled
-	pool    *Pool
-	metrics *Metrics
-	handler http.Handler
-	reqID   atomic.Uint64
+	cfg      Config
+	cache    *Cache // nil when caching is disabled
+	pool     *Pool
+	metrics  *Metrics
+	handler  http.Handler
+	reqID    atomic.Uint64
+	ready    atomic.Bool // pool constructed, routes mounted
+	draining atomic.Bool // graceful shutdown has begun; terminal
 }
 
 // New builds a Server from cfg (normalized first).
@@ -43,6 +45,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.EnablePprof {
 		// The index route also serves the named profiles (heap,
@@ -53,8 +56,51 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = s.recoverPanics(mux)
+	s.handler = s.recoverPanics(s.withRequestID(mux))
+	s.ready.Store(true)
 	return s
+}
+
+// requestIDKey carries the per-request correlation id in the context.
+type requestIDKey struct{}
+
+// RequestID returns the correlation id minted (or accepted) for the
+// request, or "" outside a request served by this package.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// validRequestID accepts inbound X-Request-Id values that are safe to
+// echo and log: 1-128 printable ASCII characters with no spaces. Anything
+// else (including absence) is replaced by a generated id, so a hostile
+// header can never inject log records or response-header garbage.
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// withRequestID assigns every request its correlation id: an inbound
+// X-Request-Id header is accepted (so a gateway in front can trace a
+// request end to end), otherwise one is generated. The id is echoed on
+// the response — before the handler runs, so even panic-recovery 500s
+// carry it — and stored in the context for the request log record.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if !validRequestID(id) {
+			id = s.nextRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
 }
 
 // recoverPanics is the outermost middleware: a panic anywhere on the
@@ -133,6 +179,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Flip readiness before draining: a load balancer polling /readyz
+	// (e.g. the cluster gateway) stops routing new work here while
+	// in-flight requests finish. Draining is terminal — the listener is
+	// about to close and never reopens on this Server.
+	s.draining.Store(true)
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
 	err := hs.Shutdown(sctx)
