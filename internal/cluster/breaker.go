@@ -84,7 +84,8 @@ func (b *Breaker) Ready() bool {
 
 // Acquire claims the right to send one request. In the open state with an
 // elapsed cooldown it transitions to half-open and grants exactly one
-// caller the probe; every send must be followed by Success or Fail.
+// caller the probe; every Acquire must be resolved by Success, Fail, or
+// Release — otherwise a half-open breaker is stuck forever.
 func (b *Breaker) Acquire() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -99,6 +100,21 @@ func (b *Breaker) Acquire() bool {
 		return true
 	}
 	return false
+}
+
+// Release returns an acquired slot without judging the backend: the send
+// was abandoned before reachability could be observed (client cancelled
+// mid-flight, or the request was never constructed). A half-open probe
+// reverts to open with an already-elapsed cooldown, so the slot is not
+// leaked and the next caller may re-probe immediately; in the closed
+// state Acquire consumed nothing and Release is a no-op.
+func (b *Breaker) Release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.until = b.now()
+	}
 }
 
 // Success records a reachable backend: half-open probes close the

@@ -97,6 +97,47 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 	}
 }
 
+func TestBreakerReleaseReturnsProbeSlot(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Fail()
+	clk.advance(time.Second)
+	if !b.Acquire() {
+		t.Fatal("probe not granted")
+	}
+	// The probe was abandoned (e.g. client cancel mid-send) before the
+	// backend's reachability could be judged: the slot must come back.
+	b.Release()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state=%v, want open after Release", got)
+	}
+	if !b.Acquire() {
+		t.Fatal("Release must allow the next caller to re-probe immediately")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state=%v, want half-open on re-probe", got)
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state=%v, want closed after successful re-probe", got)
+	}
+}
+
+func TestBreakerReleaseClosedIsNoop(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	if !b.Acquire() {
+		t.Fatal("closed breaker must admit traffic")
+	}
+	b.Release()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state=%v, want closed", got)
+	}
+	b.Fail()
+	b.Fail()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("Release must not touch the failure count; state=%v", got)
+	}
+}
+
 func TestBreakerStateStrings(t *testing.T) {
 	for state, want := range map[BreakerState]string{
 		BreakerClosed:   "closed",

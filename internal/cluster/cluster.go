@@ -68,6 +68,12 @@ type Config struct {
 	// RetryAfterCap clamps how long the gateway will honor an upstream
 	// Retry-After hint before retrying. 0 means 2s.
 	RetryAfterCap time.Duration
+	// UpstreamTimeout bounds a single-flight leader's upstream analyze
+	// call. The leader runs detached from its own request context (its
+	// result is shared with followers whose requests are still live, so
+	// one client disconnecting must not cancel everyone); this is the
+	// replacement bound. 0 means 60s.
+	UpstreamTimeout time.Duration
 	// BatchChunk is how many items of one backend's batch share go into
 	// each upstream sub-batch request: small chunks stream a large batch
 	// through the fleet and bound the blast radius of a mid-batch replica
@@ -116,6 +122,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.RetryAfterCap <= 0 {
 		c.RetryAfterCap = 2 * time.Second
+	}
+	if c.UpstreamTimeout <= 0 {
+		c.UpstreamTimeout = 60 * time.Second
 	}
 	if c.BatchChunk <= 0 {
 		c.BatchChunk = 16
@@ -175,7 +184,7 @@ func New(cfg Config) (*Gateway, error) {
 	g := &Gateway{
 		cfg:     cfg,
 		ring:    NewRing(cfg.Backends, cfg.VirtualNodes),
-		flights: newFlightGroup(),
+		flights: newFlightGroup(cfg.UpstreamTimeout),
 		// One shared client: keep-alive connection reuse to every replica
 		// is what keeps the proxy hop cheap.
 		client: &http.Client{Transport: &http.Transport{

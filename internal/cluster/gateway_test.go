@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -720,5 +721,130 @@ func TestGatewayServeDrain(t *testing.T) {
 	code, body := getBody(t, gts.URL+"/readyz")
 	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
 		t.Fatalf("post-drain /readyz=%d body=%s", code, body)
+	}
+}
+
+// TestFlightGroupLeaderCancelDoesNotPoisonFollowers pins the detachment
+// of the single-flight leader's upstream call from its own request
+// context: when the leader's client disconnects mid-flight, followers
+// sharing the flight still get the real upstream result instead of the
+// leader's context.Canceled.
+func TestFlightGroupLeaderCancelDoesNotPoisonFollowers(t *testing.T) {
+	fg := newFlightGroup(5 * time.Second)
+	key := sha256.Sum256([]byte("body"))
+	want := &upstream{status: http.StatusOK}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var leaderRes, followerRes *upstream
+	var leaderErr, followerErr error
+	var followerShared bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderRes, leaderErr, _ = fg.do(leaderCtx, key, func(ctx context.Context) (*upstream, error) {
+			close(started)
+			<-release
+			// The point under test: the leader's cancellation must not
+			// reach the context the shared result is produced under.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return want, nil
+		})
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerRes, followerErr, followerShared = fg.do(context.Background(), key,
+			func(context.Context) (*upstream, error) {
+				t.Error("follower must not execute the flight")
+				return nil, nil
+			})
+	}()
+	// Give the follower a beat to block on the flight, then cancel the
+	// leader's request and let the upstream call finish.
+	time.Sleep(100 * time.Millisecond)
+	cancelLeader()
+	close(release)
+	wg.Wait()
+	if followerErr != nil || followerRes != want || !followerShared {
+		t.Fatalf("follower: res=%v err=%v shared=%v, want the leader's result shared",
+			followerRes, followerErr, followerShared)
+	}
+	if leaderErr != nil || leaderRes != want {
+		t.Fatalf("leader: res=%v err=%v", leaderRes, leaderErr)
+	}
+}
+
+// TestGatewayCancelledProbeReleasesBreaker pins the Acquire contract on
+// the client-cancel path: a request that wins the half-open probe slot
+// and is then cancelled mid-send must return the slot. Before Release
+// existed the breaker stayed half-open forever — Ready and Acquire both
+// false — and the backend was permanently out of rotation.
+func TestGatewayCancelledProbeReleasesBreaker(t *testing.T) {
+	f := newFleet(t, 1, service.Config{})
+	g, _ := newTestGateway(t, f.urls, Config{BreakerThreshold: 1, BreakerCooldown: time.Millisecond})
+	br := g.backends[0].breaker
+	br.Fail() // threshold 1: one transport failure opens the circuit
+	if got := br.State(); got != BreakerOpen {
+		t.Fatalf("state=%v, want open", got)
+	}
+	time.Sleep(5 * time.Millisecond) // cooldown elapses; a probe is allowed
+
+	// Slow the replica down, then issue the probe-winning request with a
+	// deadline that fires mid-send.
+	f.wraps[0].mu.Lock()
+	f.wraps[0].delay = 300 * time.Millisecond
+	f.wraps[0].mu.Unlock()
+	body, _ := json.Marshal(service.AnalyzeRequest{Source: workload.Ring(3).String()})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := g.forward(ctx, DigestOf("x"), "/v1/analyze", body, ""); err == nil {
+		t.Fatal("request cancelled mid-send should fail")
+	}
+	if got := br.State(); got != BreakerOpen {
+		t.Fatalf("state=%v after abandoned probe, want open (slot returned)", got)
+	}
+
+	// The next request must be able to re-probe immediately and close the
+	// breaker.
+	f.wraps[0].mu.Lock()
+	f.wraps[0].delay = 0
+	f.wraps[0].mu.Unlock()
+	res, err := g.forward(context.Background(), DigestOf("x"), "/v1/analyze", body, "")
+	if err != nil {
+		t.Fatalf("re-probe forward: %v", err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("re-probe status=%d", res.status)
+	}
+	if got := br.State(); got != BreakerClosed {
+		t.Fatalf("state=%v after successful re-probe, want closed", got)
+	}
+}
+
+// TestGatewayAlgorithmsClientCancel: a client abandoning /v1/algorithms
+// is reported as a timeout-coded abort, not "no healthy backend", and
+// does not count toward the unavailable metric.
+func TestGatewayAlgorithmsClientCancel(t *testing.T) {
+	f := newFleet(t, 1, service.Config{})
+	g, _ := newTestGateway(t, f.urls, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodGet, "/v1/algorithms", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status=%d, want 503", rec.Code)
+	}
+	eb := decodeError(t, rec.Body.Bytes())
+	if eb.Code != service.CodeTimeout {
+		t.Fatalf("code=%q, want %q (client cancel is not a fleet problem)", eb.Code, service.CodeTimeout)
+	}
+	if got := g.Metrics().Unavailable.Load(); got != 0 {
+		t.Fatalf("unavailable metric=%d, want 0", got)
 	}
 }

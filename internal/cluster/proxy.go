@@ -69,9 +69,11 @@ func (e *unavailableError) Error() string {
 // errNoBackend means routing found no eligible backend at all.
 var errNoBackend = errors.New("no healthy backend available")
 
-// send performs one upstream request and feeds the backend's breaker: any
-// HTTP response (whatever the status) proves the replica reachable; a
-// transport error counts toward opening the circuit. The fault point
+// send performs one upstream request and resolves the backend's breaker
+// slot on every path: any HTTP response (whatever the status) proves the
+// replica reachable (Success); a transport error counts toward opening
+// the circuit (Fail); a send abandoned by the caller's own context is
+// released without judgment (Release). The fault point
 // "gateway.forward" fires before the network touch, so chaos tests can
 // slow or sever the proxy path without real packet loss.
 func (g *Gateway) send(ctx context.Context, b *backend, method, path string, body []byte, reqID string) (*upstream, error) {
@@ -89,7 +91,9 @@ func (g *Gateway) send(ctx context.Context, b *backend, method, path string, bod
 	}
 	req, err := http.NewRequestWithContext(ctx, method, b.name+path, rd)
 	if err != nil {
-		b.breaker.Success() // config bug, not a backend failure
+		// Config bug: the backend was never contacted, so this proves
+		// nothing about reachability either way — return the slot.
+		b.breaker.Release()
 		return nil, err
 	}
 	if body != nil {
@@ -102,7 +106,9 @@ func (g *Gateway) send(ctx context.Context, b *backend, method, path string, bod
 	if err != nil {
 		if ctx.Err() != nil {
 			// The client went away or the deadline passed mid-send; that
-			// says nothing about the backend.
+			// says nothing about the backend. Return any half-open probe
+			// slot Acquire consumed, or the breaker would be stuck.
+			b.breaker.Release()
 			return nil, ctx.Err()
 		}
 		bm.Failures.Add(1)
@@ -113,6 +119,7 @@ func (g *Gateway) send(ctx context.Context, b *backend, method, path string, bod
 	resp.Body.Close()
 	if err != nil {
 		if ctx.Err() != nil {
+			b.breaker.Release()
 			return nil, ctx.Err()
 		}
 		bm.Failures.Add(1)
@@ -217,18 +224,23 @@ type flight struct {
 // the SHA-256 of the raw request body (source, options, trace flag — an
 // exact match, so no response is ever shared across differing requests).
 type flightGroup struct {
-	mu sync.Mutex
-	m  map[[sha256.Size]byte]*flight
+	mu      sync.Mutex
+	m       map[[sha256.Size]byte]*flight
+	timeout time.Duration // bound on the leader's detached execution
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{m: make(map[[sha256.Size]byte]*flight)}
+func newFlightGroup(timeout time.Duration) *flightGroup {
+	return &flightGroup{m: make(map[[sha256.Size]byte]*flight), timeout: timeout}
 }
 
 // do runs fn once per key among concurrent callers: the leader executes,
-// followers wait and share the leader's result. shared reports whether
-// this caller was a follower.
-func (fg *flightGroup) do(ctx context.Context, key [sha256.Size]byte, fn func() (*upstream, error)) (res *upstream, err error, shared bool) {
+// followers wait and share the leader's result. The leader runs fn on a
+// context detached from its own request (bounded by fg.timeout instead):
+// the result is shared with followers whose requests are still live, so
+// the leader's client disconnecting mid-flight must not turn into a
+// cancellation error for everyone. A follower that cancels only abandons
+// its own wait. shared reports whether this caller was a follower.
+func (fg *flightGroup) do(ctx context.Context, key [sha256.Size]byte, fn func(context.Context) (*upstream, error)) (res *upstream, err error, shared bool) {
 	fg.mu.Lock()
 	if f, ok := fg.m[key]; ok {
 		fg.mu.Unlock()
@@ -242,7 +254,9 @@ func (fg *flightGroup) do(ctx context.Context, key [sha256.Size]byte, fn func() 
 	f := &flight{done: make(chan struct{})}
 	fg.m[key] = f
 	fg.mu.Unlock()
-	f.res, f.err = fn()
+	ectx, cancel := context.WithTimeout(context.WithoutCancel(ctx), fg.timeout)
+	f.res, f.err = fn(ectx)
+	cancel()
 	fg.mu.Lock()
 	delete(fg.m, key)
 	fg.mu.Unlock()
@@ -306,8 +320,8 @@ func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			"invalid request body: %v", err)
 		return
 	}
-	res, err, shared := g.flights.do(r.Context(), sha256.Sum256(body), func() (*upstream, error) {
-		return g.forward(r.Context(), DigestOf(req.Source), "/v1/analyze", body, requestID(r.Context()))
+	res, err, shared := g.flights.do(r.Context(), sha256.Sum256(body), func(ctx context.Context) (*upstream, error) {
+		return g.forward(ctx, DigestOf(req.Source), "/v1/analyze", body, requestID(r.Context()))
 	})
 	if shared {
 		g.metrics.Dedup.Add(1)
@@ -333,8 +347,11 @@ func (g *Gateway) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 		}
 		res, err := g.send(r.Context(), b, http.MethodGet, "/v1/algorithms", nil, requestID(r.Context()))
 		if err != nil {
-			if r.Context().Err() != nil {
-				break
+			if cerr := r.Context().Err(); cerr != nil {
+				// The client went away, not the fleet: report the cancel,
+				// not a bogus "no healthy backend".
+				g.writeRouteError(w, cerr)
+				return
 			}
 			continue
 		}

@@ -519,19 +519,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is the readiness probe, distinct from liveness: a draining
-// server (graceful shutdown in progress) or one whose pool is not up yet
-// answers 503 so load balancers stop routing new work here, while
-// /healthz stays green because the process is alive and finishing
-// in-flight requests. The cluster gateway's health checker consumes this.
+// server (graceful shutdown in progress) answers 503 so load balancers
+// stop routing new work here, while /healthz stays green because the
+// process is alive and finishing in-flight requests. There is no
+// "starting" state — New constructs the pool and mounts the routes
+// synchronously, so any server reachable over HTTP is fully up. The
+// cluster gateway's health checker consumes this.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	switch {
-	case s.draining.Load():
+	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-	case !s.ready.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
-	default:
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
 	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // retryAfterSeconds derives the Retry-After hint for shed and timeout

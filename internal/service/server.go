@@ -25,7 +25,6 @@ type Server struct {
 	metrics  *Metrics
 	handler  http.Handler
 	reqID    atomic.Uint64
-	ready    atomic.Bool // pool constructed, routes mounted
 	draining atomic.Bool // graceful shutdown has begun; terminal
 }
 
@@ -57,7 +56,6 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	s.handler = s.recoverPanics(s.withRequestID(mux))
-	s.ready.Store(true)
 	return s
 }
 
