@@ -2,12 +2,17 @@
 
 GO ?= go
 
+# Version stamp for siwa_build_info{version=...}: git describe when the
+# tree has tags, else the short revision (+ -dirty); "dev" outside git.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -X repro/internal/obs.Version=$(VERSION)
+
 .PHONY: all build test race vet fmt bench bench-json fuzz experiments examples server gateway clean
 
 all: build vet test
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "$(LDFLAGS)" ./...
 
 test:
 	$(GO) test ./...
@@ -18,14 +23,14 @@ race:
 # Run the HTTP analysis service (ADDR overrides the listen address).
 ADDR ?= :8080
 server:
-	$(GO) run ./cmd/siwad-server -addr $(ADDR)
+	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/siwad-server -addr $(ADDR)
 
 # Run the cluster gateway over an existing fleet: make gateway
 # BACKENDS=http://a:8080,http://b:8080 (GWADDR overrides the address).
 GWADDR ?= :8090
 BACKENDS ?= http://127.0.0.1:8080
 gateway:
-	$(GO) run ./cmd/siwad-gateway -addr $(GWADDR) -backends $(BACKENDS)
+	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/siwad-gateway -addr $(GWADDR) -backends $(BACKENDS)
 
 vet:
 	$(GO) vet ./...

@@ -9,9 +9,12 @@
 //	POST /v1/analyze        routed by program digest, single-flight deduped
 //	POST /v1/analyze/batch  sharded by digest, merged in input order
 //	GET  /v1/algorithms     relayed from any live replica
+//	GET  /v1/fleet/status   merged fleet snapshot (scrapes every replica)
 //	GET  /healthz           gateway liveness
 //	GET  /readyz            503 until at least one backend is routable
 //	GET  /metrics           per-backend counters, breaker states, ring shares
+//	GET  /debug/traces      retained trace summaries (newest first)
+//	GET  /debug/traces/ID   one trace, replica spans stitched under gateway spans
 //
 // Flags:
 //
@@ -32,6 +35,11 @@
 //	-max-body N            request body limit in bytes (default 4 MiB)
 //	-grace D               shutdown drain budget (default 10s)
 //	-log MODE              request logging: text, json, or off (default text)
+//	-trace-sample N        head-sample 1 in N requests for trace retention
+//	                       (default 1 = every request, 0 disables)
+//	-slow-ms N             slow-request WARN + trace retention threshold
+//	                       (default 1000, 0 disables)
+//	-trace-ring N          retained traces in the debug ring (default 256)
 //
 // The SIWA_FAULTS environment variable arms fault-injection points
 // (including the proxy-path point "gateway.forward") for chaos drills.
@@ -53,6 +61,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -75,6 +84,9 @@ func run(args []string) int {
 	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = 4 MiB)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget")
 	logMode := fs.String("log", "text", "request logging: text, json, or off")
+	traceSample := fs.Int("trace-sample", 1, "head-sample 1 in N requests for tracing (0 disables)")
+	slowMS := fs.Int("slow-ms", 1000, "slow-request threshold in milliseconds (0 disables)")
+	traceRing := fs.Int("trace-ring", 256, "retained traces in the debug ring")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -115,6 +127,9 @@ func run(args []string) int {
 		MaxBodyBytes:     *maxBody,
 		ShutdownGrace:    *grace,
 		Logger:           logger,
+		TraceSample:      zeroDisables(*traceSample),
+		SlowThreshold:    time.Duration(zeroDisables(*slowMS)) * time.Millisecond,
+		TraceRing:        *traceRing,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "siwad-gateway: %v\n", err)
@@ -122,13 +137,23 @@ func run(args []string) int {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "siwad-gateway: listening on %s, routing to %d backends\n", *addr, len(urls))
+	fmt.Fprintf(os.Stderr, "siwad-gateway: %s listening on %s, routing to %d backends\n",
+		obs.VersionString(), *addr, len(urls))
 	if err := g.Run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "siwad-gateway: %v\n", err)
 		return 1
 	}
 	fmt.Fprintln(os.Stderr, "siwad-gateway: drained, bye")
 	return 0
+}
+
+// zeroDisables maps the flag convention (0 = off) onto the Config
+// convention (0 = default, negative = off).
+func zeroDisables(flagVal int) int {
+	if flagVal == 0 {
+		return -1
+	}
+	return flagVal
 }
 
 // parseBackends splits the -backends list, trimming blanks and trailing

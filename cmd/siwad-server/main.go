@@ -10,6 +10,8 @@
 //	GET  /healthz           liveness probe
 //	GET  /readyz            readiness probe; 503 while starting or draining
 //	GET  /metrics           counters + latency histograms, Prometheus text
+//	GET  /debug/traces      retained traces (sampled + slow/degraded/errored)
+//	GET  /debug/traces/{id} one trace's span trees by trace id
 //	GET  /debug/pprof/...   runtime profiles (only with -pprof)
 //
 // Flags:
@@ -32,6 +34,13 @@
 //	-log MODE         request logging: text, json, or off (default text)
 //	-trace            trace every analysis, feeding the per-stage latency
 //	                  histograms (requests can still opt in per-call)
+//	-trace-sample N   head-sample 1 in N traces into /debug/traces (default
+//	                  1 = every trace; 0 disables sampling — slow, degraded
+//	                  and errored requests are always retained)
+//	-slow-ms N        slow-request threshold in milliseconds: slower
+//	                  requests log at WARN with their stage breakdown and
+//	                  are always retained (default 1000; 0 disables)
+//	-trace-ring N     retained-trace ring capacity (default 256)
 //	-pprof            mount net/http/pprof under /debug/pprof/
 //
 // The SIWA_FAULTS environment variable arms fault-injection points for
@@ -53,6 +62,7 @@ import (
 
 	siwa "repro"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -76,6 +86,9 @@ func run(args []string) int {
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget")
 	logMode := fs.String("log", "text", "request logging: text, json, or off")
 	trace := fs.Bool("trace", false, "trace every analysis into the per-stage latency histograms")
+	traceSample := fs.Int("trace-sample", 1, "head-sample 1 in N traces into /debug/traces (0 disables sampling)")
+	slowMS := fs.Int("slow-ms", 1000, "slow-request threshold in ms for WARN logging and trace retention (0 disables)")
+	traceRing := fs.Int("trace-ring", 256, "retained-trace ring capacity")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -118,10 +131,13 @@ func run(args []string) int {
 		Logger:         logger,
 		EnablePprof:    *enablePprof,
 		TraceAll:       *trace,
+		TraceSample:    zeroDisables(*traceSample),
+		SlowThreshold:  time.Duration(zeroDisables(*slowMS)) * time.Millisecond,
+		TraceRing:      *traceRing,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "siwad-server: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "siwad-server: %s listening on %s\n", obs.VersionString(), *addr)
 	if err := srv.Run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "siwad-server: %v\n", err)
 		return 1
@@ -133,6 +149,15 @@ func run(args []string) int {
 // configParallelism maps the flag convention (0 = GOMAXPROCS, matching
 // siwad) onto service.Config's (0 = serial default, negative = GOMAXPROCS).
 func configParallelism(flagVal int) int {
+	if flagVal == 0 {
+		return -1
+	}
+	return flagVal
+}
+
+// zeroDisables maps the flag convention (0 = off) onto the config
+// convention (0 = default, negative = off).
+func zeroDisables(flagVal int) int {
 	if flagVal == 0 {
 		return -1
 	}

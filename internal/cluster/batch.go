@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -91,6 +92,16 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 // back "unavailable". Every item's slot in results is written exactly
 // once, and no two writers share a slot, so the merge is lock-free.
 func (g *Gateway) scatter(ctx context.Context, meta batchMeta, items []batchItem, results []service.BatchResult, pass int) {
+	if pass > 0 {
+		// Mark the re-sharding round in the trace: the chaos case "replica
+		// died mid-batch" shows up as a re-scatter span whose chunk spans
+		// target the items' next ring candidates. StartChild is safe from
+		// this shard goroutine; the span's own fields stay goroutine-local.
+		sp := obs.TraceFromContext(ctx).RootSpan().StartChild("re-scatter")
+		sp.Set("items", int64(len(items)))
+		sp.Set("pass", int64(pass))
+		defer sp.End()
+	}
 	if pass > len(g.backends) {
 		for _, it := range items {
 			results[it.idx] = unavailableResult(it, errNoBackend)
@@ -176,7 +187,20 @@ func (g *Gateway) sendChunk(ctx context.Context, b *backend, meta batchMeta, chu
 		}
 		return
 	}
-	res, err := g.send(ctx, b, http.MethodPost, "/v1/analyze/batch", body, "")
+	// Every chunk gets its own sibling span under the request root, so a
+	// scattered batch reads as parallel chunk spans each parenting its
+	// replica's pipeline spans (via the traceparent send injects).
+	sp := obs.TraceFromContext(ctx).RootSpan().StartChild("batch-chunk")
+	sp.SetAttr("backend", b.name)
+	sp.Set("items", int64(len(chunk)))
+	sp.Set("pass", int64(pass))
+	res, err := g.send(ctx, b, http.MethodPost, "/v1/analyze/batch", body, "", sp)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	} else {
+		sp.Set("status", int64(res.status))
+	}
+	sp.End()
 	if err != nil {
 		for _, it := range chunk {
 			results[it.idx] = unavailableResult(it, &unavailableError{backend: b.name, err: err})

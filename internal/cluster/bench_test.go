@@ -66,4 +66,25 @@ func BenchmarkGatewayProxyOverhead(b *testing.B) {
 			}
 		}
 	})
+	// The untraced variant isolates the tracing middleware + exporter's
+	// marginal cost on the proxy path. Both variants pay a real network
+	// hop, so run-to-run variance dominates small deltas here; the tight
+	// <2% exporter budget is enforced by the in-process service-tier pair
+	// (BenchmarkServiceCacheHit vs BenchmarkServiceCacheHitUntraced).
+	gu, err := New(Config{Backends: []string{ts.URL}, TraceSample: -1, SlowThreshold: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("gateway-untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			gu.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status=%d body=%s", rec.Code, rec.Body.String())
+			}
+		}
+	})
 }

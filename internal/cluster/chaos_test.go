@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
@@ -80,6 +81,7 @@ func TestGatewayChaosKillMidBatch(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch status=%d body=%s (a dying replica must not fail the batch)", resp.StatusCode, data)
 	}
+	traceID := resp.Header.Get("X-Trace-Id")
 	var br service.BatchResponse
 	if err := json.Unmarshal(data, &br); err != nil {
 		t.Fatal(err)
@@ -134,6 +136,31 @@ func TestGatewayChaosKillMidBatch(t *testing.T) {
 	}
 	if got := f.wraps[killed].analyzeCalls(); got != deadCalls {
 		t.Fatalf("dead replica received %d new calls", got-deadCalls)
+	}
+
+	// The whole ordeal is one trace: the retained record shows the chunk
+	// fan-out, the kill (a chunk span with an error attr), and the
+	// re-scatter of the items that rerouted to ring successors.
+	lookup := fetchTrace(t, gts.URL, traceID)
+	root := lookup.Records[0].Root
+	var chunkSpans, errChunks, rescatters int
+	root.Walk(func(sp *obs.SpanJSON) {
+		switch sp.Name {
+		case "batch-chunk":
+			chunkSpans++
+			if sp.Attrs["error"] != "" {
+				errChunks++
+			}
+		case "re-scatter":
+			rescatters++
+		}
+	})
+	if chunkSpans == 0 || errChunks == 0 {
+		t.Fatalf("trace shows %d chunk spans, %d failed: want the dead chunk recorded (%v)",
+			chunkSpans, errChunks, spanNames(lookup))
+	}
+	if rescatters == 0 {
+		t.Fatalf("no re-scatter span in the chaos trace: %v", spanNames(lookup))
 	}
 
 	// The active probe also notices the corpse.

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -90,6 +91,19 @@ type Config struct {
 	// Logger receives one structured record per proxied request. Nil
 	// disables request logging.
 	Logger *slog.Logger
+	// TraceSample is the head-sampling rate: 1 in N new traces born at the
+	// gateway is marked sampled, and the decision propagates to the
+	// replicas via the traceparent flags. Slow, degraded, and errored
+	// requests are retained regardless. 0 means 1 (sample everything);
+	// negative disables sampling.
+	TraceSample int
+	// SlowThreshold marks gateway requests at least this long as slow:
+	// always retained in the trace ring and logged at WARN with backend
+	// and retry breakdown. 0 means 1s; negative disables.
+	SlowThreshold time.Duration
+	// TraceRing caps the in-memory ring of retained traces served at
+	// /debug/traces. 0 means 256.
+	TraceRing int
 }
 
 // Normalize fills unset fields with their defaults and returns the result.
@@ -138,6 +152,15 @@ func (c Config) Normalize() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = time.Second
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
+	}
 	return c
 }
 
@@ -162,6 +185,7 @@ type Gateway struct {
 	backends []*backend
 	metrics  *Metrics
 	flights  *flightGroup
+	exporter *obs.Exporter
 	client   *http.Client
 	handler  http.Handler
 	reqID    atomic.Uint64
@@ -201,16 +225,32 @@ func New(cfg Config) (*Gateway, error) {
 		g.backends = append(g.backends, b)
 	}
 	g.metrics = newMetrics(g)
+	sampleN, slow := cfg.TraceSample, cfg.SlowThreshold
+	if sampleN < 0 {
+		sampleN = 0
+	}
+	if slow < 0 {
+		slow = 0
+	}
+	g.exporter = obs.NewExporter(cfg.TraceRing, sampleN, slow)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", g.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", g.handleBatch)
 	mux.HandleFunc("GET /v1/algorithms", g.handleAlgorithms)
+	mux.HandleFunc("GET /v1/fleet/status", g.handleFleetStatus)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /readyz", g.handleReadyz)
 	mux.HandleFunc("GET /metrics", g.handleMetrics)
-	g.handler = g.recoverPanics(g.withRequestID(mux))
+	mux.HandleFunc("GET /debug/traces", g.exporter.ServeList)
+	mux.HandleFunc("GET /debug/traces/{id}", g.handleTraceGet)
+	// Tracing wraps panic recovery so a recovered panic's 500 is observed
+	// by the status recorder and the trace is retained as errored.
+	g.handler = g.withTracing(g.recoverPanics(g.withRequestID(mux)))
 	return g, nil
 }
+
+// Exporter exposes the gateway's trace ring (for tests).
+func (g *Gateway) Exporter() *obs.Exporter { return g.exporter }
 
 // Handler returns the gateway's HTTP handler, for mounting or httptest.
 func (g *Gateway) Handler() http.Handler { return g.handler }
@@ -248,6 +288,7 @@ func (g *Gateway) writeError(w http.ResponseWriter, status int, code string, for
 	writeJSON(w, status, errorResponse{Error: service.ErrorBody{
 		Code:    code,
 		Message: fmt.Sprintf(format, args...),
+		TraceID: w.Header().Get("X-Trace-Id"),
 	}})
 }
 
@@ -325,6 +366,9 @@ func (g *Gateway) logRequest(r *http.Request, endpoint string, status int, start
 		slog.Int("status", status),
 		slog.Float64("ms", float64(time.Since(start))/float64(time.Millisecond)),
 	}
+	if trace := obs.TraceFromContext(r.Context()).TraceIDString(); trace != "" {
+		common = append(common, slog.String("trace", trace))
+	}
 	g.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "gateway request", append(common, attrs...)...)
 }
 
@@ -358,6 +402,8 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	g.metrics.WriteTo(w, g)
+	g.exporter.WriteProm(w, "siwa_gateway")
+	obs.WriteRuntimeMetrics(w, "siwa_gateway")
 }
 
 // Run listens on the configured address, starts the health checker, and

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -76,7 +77,13 @@ var errNoBackend = errors.New("no healthy backend available")
 // released without judgment (Release). The fault point
 // "gateway.forward" fires before the network touch, so chaos tests can
 // slow or sever the proxy path without real packet loss.
-func (g *Gateway) send(ctx context.Context, b *backend, method, path string, body []byte, reqID string) (*upstream, error) {
+//
+// sp names the span covering this call: when the request is traced, the
+// W3C traceparent header carries (trace id, sp's span id) upstream, so
+// the replica's spans hang under exactly the routing attempt (or batch
+// chunk) that caused them. Nil sp falls back to the request root; health
+// probes bypass send entirely and stay untraced.
+func (g *Gateway) send(ctx context.Context, b *backend, method, path string, body []byte, reqID string, sp *obs.Span) (*upstream, error) {
 	bm := g.metrics.backend(b.name)
 	bm.Requests.Add(1)
 	start := time.Now()
@@ -101,6 +108,9 @@ func (g *Gateway) send(ctx context.Context, b *backend, method, path string, bod
 	}
 	if reqID != "" {
 		req.Header.Set("X-Request-Id", reqID)
+	}
+	if tp := obs.TraceFromContext(ctx).Traceparent(sp); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {
@@ -181,19 +191,36 @@ func (g *Gateway) forward(ctx context.Context, d Digest, path string, body []byt
 	if len(elig) == 0 {
 		return nil, errNoBackend
 	}
+	root := obs.TraceFromContext(ctx).RootSpan()
 	var last *upstream
 	for attempt := 0; attempt <= g.cfg.MaxRetries; attempt++ {
 		b := elig[attempt%len(elig)]
+		// Name the attempt span by what it is: the first routing decision,
+		// a retry after upstream pushback, or the single half-open probe
+		// that tests a recovering backend.
+		name := "route"
+		if attempt > 0 {
+			name = "retry"
+		}
+		if b.breaker.State() != BreakerClosed {
+			name = "breaker-probe"
+		}
 		if !b.breaker.Acquire() {
 			continue // lost the half-open probe slot; try the next candidate
 		}
-		res, err := g.send(ctx, b, http.MethodPost, path, body, reqID)
+		sp := root.StartChild(name)
+		sp.SetAttr("backend", b.name)
+		sp.Set("attempt", int64(attempt))
+		res, err := g.send(ctx, b, http.MethodPost, path, body, reqID, sp)
+		sp.End()
 		if err != nil {
+			sp.SetAttr("error", err.Error())
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
 			return nil, &unavailableError{backend: b.name, err: err}
 		}
+		sp.Set("status", int64(res.status))
 		if res.status != http.StatusTooManyRequests && res.status != http.StatusServiceUnavailable {
 			return res, nil
 		}
@@ -323,14 +350,24 @@ func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	res, err, shared := g.flights.do(r.Context(), sha256.Sum256(body), func(ctx context.Context) (*upstream, error) {
 		return g.forward(ctx, DigestOf(req.Source), "/v1/analyze", body, requestID(r.Context()))
 	})
+	th := obs.TraceFromContext(r.Context())
 	if shared {
 		g.metrics.Dedup.Add(1)
+		// A follower executed nothing: its trace shows one retroactive span
+		// covering the wait for the leader's in-flight upstream call.
+		sp := th.RootSpan().StartChild("single-flight-wait")
+		sp.Start = start
+		if res != nil {
+			sp.SetAttr("backend", res.backend)
+		}
+		sp.End()
 	}
 	if err != nil {
 		status, code := g.writeRouteError(w, err)
 		g.logRequest(r, "analyze", status, start, slog.String("code", code))
 		return
 	}
+	th.RootSpan().SetAttr("backend", res.backend)
 	res.relay(w)
 	g.logRequest(r, "analyze", res.status, start,
 		slog.String("backend", res.backend),
@@ -345,7 +382,7 @@ func (g *Gateway) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 		if !b.eligible() || !b.breaker.Acquire() {
 			continue
 		}
-		res, err := g.send(r.Context(), b, http.MethodGet, "/v1/algorithms", nil, requestID(r.Context()))
+		res, err := g.send(r.Context(), b, http.MethodGet, "/v1/algorithms", nil, requestID(r.Context()), nil)
 		if err != nil {
 			if cerr := r.Context().Err(); cerr != nil {
 				// The client went away, not the fleet: report the cancel,

@@ -115,7 +115,7 @@ func (r *Ring) Ownership() []float64 {
 		own[r.points[0].backend] = 1
 		return own
 	}
-	const whole = float64(1 << 63) * 2 // 2^64
+	const whole = float64(1<<63) * 2 // 2^64
 	for i, p := range r.points {
 		// The arc (previous point, p] lands on p's backend; the i==0 arc
 		// wraps past zero, which uint64 subtraction handles for free.

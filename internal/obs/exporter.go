@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Retention reasons, in decreasing priority: a trace retained for several
+// reasons is labeled with the strongest one.
+const (
+	RetainError    = "error"    // request finished with status >= 400
+	RetainSlow     = "slow"     // root duration >= the slow threshold
+	RetainDegraded = "degraded" // a span recorded a degraded counter
+	RetainSampled  = "sampled"  // head-sampling decision at trace birth
+)
+
+// ExportedTrace is one completed, retained trace record: the projected
+// span tree plus the retention verdict. A process exports at most one
+// record per request, but a replica can hold several records for one
+// trace id (the gateway fans a batch out as sibling chunk requests).
+type ExportedTrace struct {
+	TraceID    string    `json:"traceId"`
+	Name       string    `json:"name"`
+	Reason     string    `json:"reason"`
+	Status     int       `json:"status,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"durationMs"`
+	Root       *SpanJSON `json:"root"`
+
+	// span is the live tree behind a ring record: Export stores the ended
+	// span as-is and defers the JSON projection to the first debug read,
+	// keeping the projection cost off the request hot path. nil for
+	// records decoded from another process's JSON, which carry Root.
+	span *Span
+}
+
+// materialize returns an independent copy with Root populated: projected
+// from the span tree (itself a fresh deep structure), or deep-cloned from
+// Root. Callers may graft remote subtrees into the result without
+// touching the ring's copy.
+func (e *ExportedTrace) materialize() *ExportedTrace {
+	out := *e
+	if e.span != nil {
+		out.Root = e.span.JSON()
+		out.span = nil
+		return &out
+	}
+	out.Root = e.Root.Clone()
+	return &out
+}
+
+// spanCount walks whichever representation the record holds.
+func (e *ExportedTrace) spanCount() int {
+	n := 0
+	if e.span != nil {
+		e.span.Walk(func(int, *Span) { n++ })
+	} else if e.Root != nil {
+		e.Root.Walk(func(*SpanJSON) { n++ })
+	}
+	return n
+}
+
+// TraceSummary is the per-trace line of the trace listing.
+type TraceSummary struct {
+	TraceID    string    `json:"traceId"`
+	Name       string    `json:"name"`
+	Reason     string    `json:"reason"`
+	Status     int       `json:"status,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"durationMs"`
+	Spans      int       `json:"spans"`
+}
+
+// TraceList is the GET /debug/traces response body.
+type TraceList struct {
+	Retained uint64         `json:"retained"`
+	Dropped  uint64         `json:"dropped"`
+	Traces   []TraceSummary `json:"traces"`
+}
+
+// TraceLookup is the GET /debug/traces/{id} response body. Records is
+// every retained record carrying the trace id, oldest first.
+type TraceLookup struct {
+	TraceID string           `json:"traceId"`
+	Records []*ExportedTrace `json:"records"`
+}
+
+// Exporter retains completed span trees in a bounded in-memory ring and
+// serves them as JSON for debugging. Retention is head-sampling (1-in-N,
+// decided where the trace is born and propagated via traceparent flags)
+// plus always-retain for slow, degraded, or errored requests — so the
+// ring stays small under load but the pathological requests operators
+// care about are never sampled away.
+type Exporter struct {
+	sampleN int
+	slow    time.Duration
+
+	mu       sync.Mutex
+	ring     []*ExportedTrace // capacity-bounded; next points at the oldest slot
+	next     int
+	seq      uint64            // head-sampling counter
+	reasons  map[string]uint64 // retained-by-reason counters
+	dropped  uint64
+	exported uint64
+}
+
+// NewExporter builds an exporter retaining up to ringSize traces,
+// head-sampling 1 in sampleN new traces (0 disables sampling, 1 samples
+// everything), and always retaining requests at least slow long (0
+// disables the slow path).
+func NewExporter(ringSize, sampleN int, slow time.Duration) *Exporter {
+	if ringSize <= 0 {
+		ringSize = 64
+	}
+	return &Exporter{
+		sampleN: sampleN,
+		slow:    slow,
+		ring:    make([]*ExportedTrace, 0, ringSize),
+		reasons: make(map[string]uint64, 4),
+	}
+}
+
+// SlowThreshold returns the configured slow-request threshold (0 = off).
+func (e *Exporter) SlowThreshold() time.Duration {
+	if e == nil {
+		return 0
+	}
+	return e.slow
+}
+
+// SampleNext makes the head decision for a newly born trace: true for 1
+// in N calls. Nil-safe (false).
+func (e *Exporter) SampleNext() bool {
+	if e == nil || e.sampleN <= 0 {
+		return false
+	}
+	if e.sampleN == 1 {
+		return true
+	}
+	e.mu.Lock()
+	e.seq++
+	hit := e.seq%uint64(e.sampleN) == 1
+	e.mu.Unlock()
+	return hit
+}
+
+// Export considers a completed request's root span for retention.
+// sampled is the trace's head decision, status the response status (0
+// when unknown). Returns the retention reason, or "" when dropped.
+// Nil-safe on both receiver and root.
+func (e *Exporter) Export(root *Span, sampled bool, status int) string {
+	if e == nil || root == nil {
+		return ""
+	}
+	reason := ""
+	switch {
+	case status >= 400:
+		reason = RetainError
+	case e.slow > 0 && root.Dur >= e.slow:
+		reason = RetainSlow
+	case isDegraded(root):
+		reason = RetainDegraded
+	case sampled:
+		reason = RetainSampled
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if reason == "" {
+		e.dropped++
+		return ""
+	}
+	rec := &ExportedTrace{
+		TraceID:    root.TraceID.String(),
+		Name:       root.Name,
+		Reason:     reason,
+		Status:     status,
+		Start:      root.Start,
+		DurationMs: float64(root.Dur) / float64(time.Millisecond),
+		// The request is over, so the tree is immutable from here: keep it
+		// live and project to JSON lazily on the (cold) debug read path.
+		span: root,
+	}
+	if len(e.ring) < cap(e.ring) {
+		e.ring = append(e.ring, rec)
+	} else {
+		e.ring[e.next] = rec
+		e.next = (e.next + 1) % cap(e.ring)
+	}
+	e.reasons[reason]++
+	e.exported++
+	return reason
+}
+
+func isDegraded(root *Span) bool {
+	degraded := false
+	root.Walk(func(_ int, sp *Span) {
+		if sp.Counter("degraded") > 0 {
+			degraded = true
+		}
+	})
+	return degraded
+}
+
+// List summarizes the retained traces, newest first.
+func (e *Exporter) List() TraceList {
+	if e == nil {
+		return TraceList{Traces: []TraceSummary{}}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := TraceList{
+		Retained: e.exported,
+		Dropped:  e.dropped,
+		Traces:   make([]TraceSummary, 0, len(e.ring)),
+	}
+	e.inOrder(func(rec *ExportedTrace) {
+		spans := rec.spanCount()
+		out.Traces = append(out.Traces, TraceSummary{
+			TraceID:    rec.TraceID,
+			Name:       rec.Name,
+			Reason:     rec.Reason,
+			Status:     rec.Status,
+			Start:      rec.Start,
+			DurationMs: rec.DurationMs,
+			Spans:      spans,
+		})
+	})
+	// inOrder yields oldest first; the listing wants newest first.
+	for i, j := 0, len(out.Traces)-1; i < j; i, j = i+1, j-1 {
+		out.Traces[i], out.Traces[j] = out.Traces[j], out.Traces[i]
+	}
+	return out
+}
+
+// inOrder visits ring records oldest first. Caller holds e.mu.
+func (e *Exporter) inOrder(fn func(*ExportedTrace)) {
+	if len(e.ring) < cap(e.ring) {
+		for _, rec := range e.ring {
+			fn(rec)
+		}
+		return
+	}
+	for i := 0; i < len(e.ring); i++ {
+		fn(e.ring[(e.next+i)%len(e.ring)])
+	}
+}
+
+// Get returns deep copies of every retained record for the trace id,
+// oldest first (nil when unknown). Copies, so the caller may graft
+// remote subtrees into the result without racing the ring.
+func (e *Exporter) Get(id string) []*ExportedTrace {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []*ExportedTrace
+	e.inOrder(func(rec *ExportedTrace) {
+		if rec.TraceID == id {
+			out = append(out, rec.materialize())
+		}
+	})
+	return out
+}
+
+// Stats returns the retained-by-reason counters and the dropped count.
+func (e *Exporter) Stats() (reasons map[string]uint64, dropped uint64) {
+	if e == nil {
+		return nil, 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	reasons = make(map[string]uint64, len(e.reasons))
+	for k, v := range e.reasons {
+		reasons[k] = v
+	}
+	return reasons, e.dropped
+}
+
+// WriteProm renders the exporter counters in Prometheus text format under
+// the given metric prefix.
+func (e *Exporter) WriteProm(w io.Writer, prefix string) {
+	if e == nil {
+		return
+	}
+	reasons, dropped := e.Stats()
+	fmt.Fprintf(w, "# HELP %s_traces_retained_total Completed traces retained in the debug ring, by reason.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_traces_retained_total counter\n", prefix)
+	for _, reason := range []string{RetainError, RetainSlow, RetainDegraded, RetainSampled} {
+		fmt.Fprintf(w, "%s_traces_retained_total{reason=%q} %d\n", prefix, reason, reasons[reason])
+	}
+	for reason, n := range reasons {
+		switch reason {
+		case RetainError, RetainSlow, RetainDegraded, RetainSampled:
+		default:
+			fmt.Fprintf(w, "%s_traces_retained_total{reason=%q} %d\n", prefix, reason, n)
+		}
+	}
+	fmt.Fprintf(w, "# HELP %s_traces_dropped_total Completed traces dropped by head sampling.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_traces_dropped_total counter\n", prefix)
+	fmt.Fprintf(w, "%s_traces_dropped_total %d\n", prefix, dropped)
+}
+
+// ServeList handles GET /debug/traces.
+func (e *Exporter) ServeList(w http.ResponseWriter, r *http.Request) {
+	writeTraceJSON(w, http.StatusOK, e.List())
+}
+
+// ServeGet handles GET /debug/traces/{id} (the id is the {id} path
+// value). Unknown ids get a JSON 404 in the service error-body shape.
+func (e *Exporter) ServeGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	recs := e.Get(id)
+	if len(recs) == 0 {
+		writeTraceJSON(w, http.StatusNotFound, map[string]any{
+			"error": map[string]string{
+				"code":    "not_found",
+				"message": fmt.Sprintf("no retained trace %q", id),
+			},
+		})
+		return
+	}
+	writeTraceJSON(w, http.StatusOK, TraceLookup{TraceID: id, Records: recs})
+}
+
+func writeTraceJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// SortRecordsByStart orders records oldest first; used by callers that
+// merge records from several exporters.
+func SortRecordsByStart(recs []*ExportedTrace) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+}

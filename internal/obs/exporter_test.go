@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// endedSpan builds a finished root span with a synthetic duration.
+func endedSpan(name string, dur time.Duration) *Span {
+	sp := NewTracer().Start(name)
+	sp.End()
+	sp.Dur = dur
+	return sp
+}
+
+func TestExporterRetentionPriority(t *testing.T) {
+	e := NewExporter(16, 1, 100*time.Millisecond)
+
+	// error beats slow: a slow failed request is filed under "error".
+	slowErr := endedSpan("a", time.Second)
+	if got := e.Export(slowErr, true, 500); got != RetainError {
+		t.Fatalf("slow+error: %q", got)
+	}
+	// slow beats degraded and sampled.
+	slowDeg := endedSpan("b", time.Second)
+	slowDeg.Set("degraded", 1)
+	if got := e.Export(slowDeg, true, 200); got != RetainSlow {
+		t.Fatalf("slow+degraded: %q", got)
+	}
+	// degraded beats sampled, including a degraded counter on a child.
+	deg := endedSpan("c", time.Millisecond)
+	ch := deg.StartChild("stage")
+	ch.Set("degraded", 2)
+	ch.End()
+	if got := e.Export(deg, true, 200); got != RetainDegraded {
+		t.Fatalf("degraded: %q", got)
+	}
+	// plain sampled.
+	if got := e.Export(endedSpan("d", time.Millisecond), true, 200); got != RetainSampled {
+		t.Fatalf("sampled: %q", got)
+	}
+	// fast, healthy, unsampled: dropped.
+	if got := e.Export(endedSpan("e", time.Millisecond), false, 200); got != "" {
+		t.Fatalf("dropped: %q", got)
+	}
+
+	reasons, dropped := e.Stats()
+	want := map[string]uint64{RetainError: 1, RetainSlow: 1, RetainDegraded: 1, RetainSampled: 1}
+	for k, v := range want {
+		if reasons[k] != v {
+			t.Fatalf("reasons=%v, want %v", reasons, want)
+		}
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped=%d", dropped)
+	}
+}
+
+func TestExporterSlowAndSamplingDisabled(t *testing.T) {
+	e := NewExporter(4, 0, 0) // sampling off, slow off
+	if e.SampleNext() {
+		t.Fatal("sampleN=0 must never sample")
+	}
+	if got := e.Export(endedSpan("a", time.Hour), false, 200); got != "" {
+		t.Fatalf("slow=0 retained a slow trace: %q", got)
+	}
+	// Errors are still kept even with everything else off.
+	if got := e.Export(endedSpan("b", time.Millisecond), false, 503); got != RetainError {
+		t.Fatalf("error with sampling off: %q", got)
+	}
+}
+
+func TestExporterSampleEveryN(t *testing.T) {
+	e := NewExporter(4, 3, 0)
+	hits := 0
+	for i := 0; i < 300; i++ {
+		if e.SampleNext() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("1-in-3 sampling over 300 draws: %d hits", hits)
+	}
+	every := NewExporter(4, 1, 0)
+	for i := 0; i < 10; i++ {
+		if !every.SampleNext() {
+			t.Fatal("sampleN=1 must always sample")
+		}
+	}
+}
+
+func TestExporterRingBound(t *testing.T) {
+	e := NewExporter(3, 1, 0)
+	for i := 0; i < 10; i++ {
+		sp := NewTracer().Start("req")
+		sp.Set("seq", int64(i))
+		sp.End()
+		e.Export(sp, true, 200)
+	}
+	list := e.List()
+	if len(list.Traces) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(list.Traces))
+	}
+	if list.Retained != 10 || list.Dropped != 0 {
+		t.Fatalf("retained=%d dropped=%d", list.Retained, list.Dropped)
+	}
+	// Newest first: the survivors are seq 9, 8, 7.
+	for i, wantSeq := range []int64{9, 8, 7} {
+		recs := e.Get(list.Traces[i].TraceID)
+		if len(recs) != 1 || recs[0].Root.Counters["seq"] != wantSeq {
+			t.Fatalf("slot %d: %+v", i, recs)
+		}
+	}
+}
+
+func TestExporterGetReturnsClones(t *testing.T) {
+	e := NewExporter(4, 1, 0)
+	sp := NewTracer().Start("req")
+	sp.End()
+	e.Export(sp, true, 200)
+	id := sp.TraceID.String()
+
+	recs := e.Get(id)
+	if len(recs) != 1 {
+		t.Fatalf("records: %d", len(recs))
+	}
+	recs[0].Root.Children = append(recs[0].Root.Children, &SpanJSON{Name: "grafted"})
+	again := e.Get(id)
+	if len(again[0].Root.Children) != 0 {
+		t.Fatal("grafting into a Get result mutated the ring")
+	}
+}
+
+func TestExporterMultipleRecordsPerTrace(t *testing.T) {
+	// A replica holds one record per chunk request of the same batch trace.
+	e := NewExporter(8, 1, 0)
+	tid := NewTraceID()
+	for i := 0; i < 3; i++ {
+		tr := NewTracer()
+		tr.SetRemote(tid, NewSpanID())
+		sp := tr.Start("server /v1/analyze/batch")
+		sp.End()
+		e.Export(sp, true, 200)
+	}
+	if recs := e.Get(tid.String()); len(recs) != 3 {
+		t.Fatalf("records for one trace id: %d, want 3", len(recs))
+	}
+}
+
+func TestExporterHTTP(t *testing.T) {
+	e := NewExporter(4, 1, 0)
+	sp := NewTracer().Start("req")
+	child := sp.StartChild("stage")
+	child.End()
+	sp.End()
+	e.Export(sp, true, 200)
+	id := sp.TraceID.String()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", e.ServeList)
+	mux.HandleFunc("GET /debug/traces/{id}", e.ServeGet)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list TraceList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].TraceID != id || list.Traces[0].Spans != 2 {
+		t.Fatalf("list: %+v", list)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/traces/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lookup TraceLookup
+	if err := json.NewDecoder(resp.Body).Decode(&lookup); err != nil {
+		t.Fatal(err)
+	}
+	if lookup.TraceID != id || len(lookup.Records) != 1 ||
+		lookup.Records[0].Root.Children[0].Name != "stage" {
+		t.Fatalf("lookup: %+v", lookup)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/traces/ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", resp.StatusCode)
+	}
+	var body struct {
+		Error struct{ Code, Message string } `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error.Code != "not_found" {
+		t.Fatalf("404 body: %+v err=%v", body, err)
+	}
+}
+
+func TestExporterWriteProm(t *testing.T) {
+	e := NewExporter(4, 1, 0)
+	e.Export(endedSpan("a", time.Millisecond), true, 200)
+	e.Export(endedSpan("b", time.Millisecond), false, 500)
+	e.Export(endedSpan("c", time.Millisecond), false, 200)
+	var b strings.Builder
+	e.WriteProm(&b, "siwa")
+	out := b.String()
+	for _, want := range []string{
+		`siwa_traces_retained_total{reason="sampled"} 1`,
+		`siwa_traces_retained_total{reason="error"} 1`,
+		`siwa_traces_retained_total{reason="slow"} 0`,
+		`siwa_traces_retained_total{reason="degraded"} 0`,
+		`siwa_traces_dropped_total 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExporterNilSafety(t *testing.T) {
+	var e *Exporter
+	if e.SampleNext() || e.SlowThreshold() != 0 {
+		t.Fatal("nil exporter must be inert")
+	}
+	if got := e.Export(endedSpan("a", time.Second), true, 500); got != "" {
+		t.Fatalf("nil Export: %q", got)
+	}
+	if e.Get("x") != nil {
+		t.Fatal("nil Get must return nil")
+	}
+	reasons, dropped := e.Stats()
+	if reasons != nil || dropped != 0 {
+		t.Fatal("nil Stats must be zero")
+	}
+	var b strings.Builder
+	e.WriteProm(&b, "siwa") // must not panic
+	list := e.List()
+	if list.Traces == nil || len(list.Traces) != 0 {
+		t.Fatalf("nil List: %+v", list)
+	}
+}

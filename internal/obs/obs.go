@@ -13,35 +13,55 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Span is one named piece of work: a start time, a duration (set by End),
-// a set of named int64 counters, and nested child spans. A Span tree is
-// built and read by a single goroutine (one analysis); it is not safe for
-// concurrent mutation. All methods are no-ops on a nil receiver, so
-// callers thread a possibly-nil *Span through the pipeline unconditionally.
+// a set of named int64 counters, string attributes, and nested child
+// spans. Every span carries distributed-tracing identity: the 128-bit
+// TraceID shared by the whole tree (and, via traceparent propagation, by
+// remote trees), its own SpanID, and the ParentID it hangs under (a
+// remote span for a root that continued an inbound traceparent).
+//
+// Concurrency: StartChild is safe to call on one parent from many
+// goroutines (scatter-gather fans children out), but each span's own
+// counters, attrs, and End are owned by the goroutine that created it,
+// and readers (Walk, Tree, JSON) must run after the writers are joined.
+// All methods are no-ops on a nil receiver, so callers thread a
+// possibly-nil *Span through the pipeline unconditionally.
 type Span struct {
 	Name     string
 	Start    time.Time
 	Dur      time.Duration
 	Children []*Span
 
+	TraceID  TraceID
+	ID       SpanID
+	ParentID SpanID
+
+	mu       sync.Mutex // guards Children appends only
 	counters map[string]int64
+	attrs    map[string]string
 	ended    bool
 }
 
 func newSpan(name string) *Span {
-	return &Span{Name: name, Start: time.Now()}
+	return &Span{Name: name, Start: time.Now(), ID: NewSpanID()}
 }
 
-// StartChild opens and returns a child span. Nil-safe: returns nil.
+// StartChild opens and returns a child span sharing the receiver's trace
+// id. Nil-safe: returns nil. Safe for concurrent use on one parent.
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := newSpan(name)
+	c.TraceID = s.TraceID
+	c.ParentID = s.ID
+	s.mu.Lock()
 	s.Children = append(s.Children, c)
+	s.mu.Unlock()
 	return c
 }
 
@@ -74,6 +94,26 @@ func (s *Span) Set(counter string, v int64) {
 		s.counters = make(map[string]int64, 4)
 	}
 	s.counters[counter] = v
+}
+
+// SetAttr attaches a string attribute (backend URL, algorithm name, ...)
+// to the span. Like counters, attrs are owned by the span's goroutine.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 2)
+	}
+	s.attrs[key] = value
+}
+
+// Attr returns the named attribute ("" when absent or nil span).
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	return s.attrs[key]
 }
 
 // Counter returns the named counter's value (0 when absent or nil span).
@@ -145,16 +185,33 @@ func (s *Span) Tree() string {
 }
 
 // SpanJSON is the stable wire projection of a Span, used by the report
-// schema (v2) and the analysis service.
+// schema (v2) and the analysis service. The tracing identity fields
+// (traceId on the tree's top span, spanId/parentSpanId everywhere) are
+// additive: v2 readers ignore them.
 type SpanJSON struct {
-	Name       string           `json:"name"`
-	DurationMs float64          `json:"durationMs"`
-	Counters   map[string]int64 `json:"counters,omitempty"`
-	Children   []*SpanJSON      `json:"children,omitempty"`
+	Name         string            `json:"name"`
+	TraceID      string            `json:"traceId,omitempty"`
+	SpanID       string            `json:"spanId,omitempty"`
+	ParentSpanID string            `json:"parentSpanId,omitempty"`
+	DurationMs   float64           `json:"durationMs"`
+	Counters     map[string]int64  `json:"counters,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Children     []*SpanJSON       `json:"children,omitempty"`
 }
 
 // JSON builds the wire projection of the span tree (nil for a nil span).
+// The top span carries the trace id; every span carries its own and its
+// parent's span id, so trees cut apart by process boundaries can be
+// stitched back together by id.
 func (s *Span) JSON() *SpanJSON {
+	out := s.jsonNode()
+	if out != nil && !s.TraceID.IsZero() {
+		out.TraceID = s.TraceID.String()
+	}
+	return out
+}
+
+func (s *Span) jsonNode() *SpanJSON {
 	if s == nil {
 		return nil
 	}
@@ -162,35 +219,127 @@ func (s *Span) JSON() *SpanJSON {
 		Name:       s.Name,
 		DurationMs: float64(s.Dur) / float64(time.Millisecond),
 	}
+	if !s.ID.IsZero() {
+		out.SpanID = s.ID.String()
+	}
+	if !s.ParentID.IsZero() {
+		out.ParentSpanID = s.ParentID.String()
+	}
 	if len(s.counters) > 0 {
 		out.Counters = make(map[string]int64, len(s.counters))
 		for k, v := range s.counters {
 			out.Counters[k] = v
 		}
 	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			out.Attrs[k] = v
+		}
+	}
 	for _, c := range s.Children {
-		out.Children = append(out.Children, c.JSON())
+		out.Children = append(out.Children, c.jsonNode())
 	}
 	return out
+}
+
+// Walk visits the projected span and every descendant, depth-first.
+func (j *SpanJSON) Walk(fn func(*SpanJSON)) {
+	if j == nil {
+		return
+	}
+	fn(j)
+	for _, c := range j.Children {
+		c.Walk(fn)
+	}
+}
+
+// Clone deep-copies the projected tree, so callers can graft or annotate
+// without mutating a shared record.
+func (j *SpanJSON) Clone() *SpanJSON {
+	if j == nil {
+		return nil
+	}
+	out := *j
+	if j.Counters != nil {
+		out.Counters = make(map[string]int64, len(j.Counters))
+		for k, v := range j.Counters {
+			out.Counters[k] = v
+		}
+	}
+	if j.Attrs != nil {
+		out.Attrs = make(map[string]string, len(j.Attrs))
+		for k, v := range j.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	out.Children = nil
+	for _, c := range j.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return &out
+}
+
+// ChildSummary renders the direct children as "name=duration" pairs
+// (space-separated, in start order), the one-line stage breakdown used by
+// slow-request logging. "" for a nil or childless span.
+func (s *Span) ChildSummary() string {
+	if s == nil || len(s.Children) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, c := range s.Children {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(c.Name)
+		b.WriteByte('=')
+		b.WriteString(c.Dur.Round(time.Microsecond).String())
+	}
+	return b.String()
 }
 
 // Tracer owns one span tree. A nil *Tracer is the disabled tracer: Start
 // returns a nil *Span and the whole instrumented pipeline runs untraced.
 type Tracer struct {
 	root *Span
+
+	// Remote parent context (set before the first Start): the root span
+	// joins this trace instead of minting a fresh id.
+	remoteTrace  TraceID
+	remoteParent SpanID
 }
 
 // NewTracer returns an enabled tracer with no spans yet.
 func NewTracer() *Tracer { return &Tracer{} }
 
+// SetRemote records an inbound trace context (from a validated
+// traceparent): the tracer's root span will join trace tid as a child of
+// the remote span parent. Must be called before the first Start; nil-safe.
+func (t *Tracer) SetRemote(tid TraceID, parent SpanID) {
+	if t == nil {
+		return
+	}
+	t.remoteTrace = tid
+	t.remoteParent = parent
+}
+
 // Start opens a span: the root when none exists yet, otherwise a child of
-// the root. Nil-safe: returns nil.
+// the root. The root is assigned the tracer's trace identity: the remote
+// trace set via SetRemote, or a freshly minted trace id. Nil-safe:
+// returns nil.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
 	if t.root == nil {
 		t.root = newSpan(name)
+		if t.remoteTrace.IsZero() {
+			t.root.TraceID = NewTraceID()
+		} else {
+			t.root.TraceID = t.remoteTrace
+			t.root.ParentID = t.remoteParent
+		}
 		return t.root
 	}
 	return t.root.StartChild(name)

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version identifies the build in siwa_build_info and slog startup lines.
+// Stamped by the Makefile via
+//
+//	-ldflags "-X repro/internal/obs.Version=<git describe>"
+//
+// and falling back to the module's VCS revision when unstamped.
+var Version = ""
+
+// VersionString resolves the build version: the -ldflags stamp when
+// present, else the vcs.revision recorded by the Go toolchain, else
+// "dev".
+func VersionString() string {
+	if Version != "" {
+		return Version
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", ""
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	return "dev"
+}
+
+// WriteRuntimeMetrics renders Go runtime telemetry in Prometheus text
+// format: goroutine count, heap in use, cumulative GC pause, and the
+// build-info gauge. Process-level metrics (goroutines, heap) take the
+// tier's prefix; siwa_build_info keeps one fleet-wide name so a single
+// query lists every binary's version.
+func WriteRuntimeMetrics(w io.Writer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP %s_go_goroutines Number of live goroutines.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_go_goroutines gauge\n", prefix)
+	fmt.Fprintf(w, "%s_go_goroutines %d\n", prefix, runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP %s_go_heap_inuse_bytes Heap bytes in use.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_go_heap_inuse_bytes gauge\n", prefix)
+	fmt.Fprintf(w, "%s_go_heap_inuse_bytes %d\n", prefix, ms.HeapInuse)
+	fmt.Fprintf(w, "# HELP %s_go_gc_pause_seconds_total Cumulative stop-the-world GC pause.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_go_gc_pause_seconds_total counter\n", prefix)
+	fmt.Fprintf(w, "%s_go_gc_pause_seconds_total %g\n", prefix, float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "# HELP siwa_build_info Build metadata; the gauge value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE siwa_build_info gauge\n")
+	fmt.Fprintf(w, "siwa_build_info{version=%q,go=%q} 1\n", VersionString(), runtime.Version())
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		tid, sid := NewTraceID(), NewSpanID()
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatal("minted a zero id")
+		}
+		if seen[tid.String()] || seen[sid.String()] {
+			t.Fatal("id collision in 1000 draws")
+		}
+		seen[tid.String()] = true
+		seen[sid.String()] = true
+	}
+	if s := NewTraceID().String(); len(s) != 32 || strings.ToLower(s) != s {
+		t.Fatalf("trace id wire form: %q", s)
+	}
+	if s := NewSpanID().String(); len(s) != 16 {
+		t.Fatalf("span id wire form: %q", s)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	for _, sampled := range []bool{true, false} {
+		v := FormatTraceparent(tid, sid, sampled)
+		if len(v) != 55 {
+			t.Fatalf("traceparent %q has length %d, want 55", v, len(v))
+		}
+		gt, gs, gsampled, ok := ParseTraceparent(v)
+		if !ok || gt != tid || gs != sid || gsampled != sampled {
+			t.Fatalf("round trip of %q: got (%v %v %v %v)", v, gt, gs, gsampled, ok)
+		}
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := FormatTraceparent(NewTraceID(), NewSpanID(), true)
+	cases := map[string]string{
+		"empty":           "",
+		"truncated":       valid[:54],
+		"too long":        valid + "0",
+		"bad version":     "01" + valid[2:],
+		"missing dash":    valid[:35] + "_" + valid[36:],
+		"non-hex trace":   valid[:3] + "zz" + valid[5:],
+		"non-hex span":    valid[:36] + "zz" + valid[38:],
+		"non-hex flags":   valid[:53] + "zz",
+		"zero trace id":   "00-00000000000000000000000000000000-" + valid[36:],
+		"zero span id":    valid[:36] + "0000000000000000" + valid[52:],
+		"uppercase hex":   strings.ToUpper(valid),
+		"garbage":         "not-a-traceparent-at-all-not-a-traceparent-at-all-not-a",
+		"w3c vendor junk": valid + "-extra",
+	}
+	for name, v := range cases {
+		if _, _, _, ok := ParseTraceparent(v); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, v)
+		}
+	}
+}
+
+func TestInjectExtractTraceparent(t *testing.T) {
+	h := make(http.Header)
+	tid, sid := NewTraceID(), NewSpanID()
+	InjectTraceparent(h, tid, sid, true)
+	gt, gs, sampled, ok := ExtractTraceparent(h)
+	if !ok || gt != tid || gs != sid || !sampled {
+		t.Fatalf("extract: (%v %v %v %v)", gt, gs, sampled, ok)
+	}
+	if _, _, _, ok := ExtractTraceparent(make(http.Header)); ok {
+		t.Fatal("extract accepted an absent header")
+	}
+}
+
+func TestTracerRemoteParent(t *testing.T) {
+	// A fresh tracer mints its own trace id and has no parent.
+	local := NewTracer().Start("a")
+	if local.TraceID.IsZero() || local.ID.IsZero() || !local.ParentID.IsZero() {
+		t.Fatalf("local root ids: %+v", local)
+	}
+
+	// A remote-seeded tracer continues the inbound identity.
+	tid, parent := NewTraceID(), NewSpanID()
+	tr := NewTracer()
+	tr.SetRemote(tid, parent)
+	root := tr.Start("b")
+	if root.TraceID != tid || root.ParentID != parent {
+		t.Fatalf("remote root: trace=%v parent=%v", root.TraceID, root.ParentID)
+	}
+	child := root.StartChild("c")
+	if child.TraceID != tid || child.ParentID != root.ID || child.ID.IsZero() {
+		t.Fatalf("child identity: %+v", child)
+	}
+}
+
+func TestTraceHandleNilSafety(t *testing.T) {
+	var h *TraceHandle
+	if h.RootSpan() != nil || h.TraceIDString() != "" || h.Traceparent(nil) != "" {
+		t.Fatal("nil handle accessors must return zero values")
+	}
+	if got := TraceFromContext(context.Background()); got != nil {
+		t.Fatalf("TraceFromContext on empty context: %v", got)
+	}
+}
+
+func TestTraceHandleContext(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("req")
+	h := &TraceHandle{Tracer: tr, Root: root, Sampled: true}
+	ctx := ContextWithTrace(context.Background(), h)
+	got := TraceFromContext(ctx)
+	if got != h || got.RootSpan() != root {
+		t.Fatal("handle did not round-trip through context")
+	}
+	if got.TraceIDString() != root.TraceID.String() {
+		t.Fatalf("TraceIDString: %q", got.TraceIDString())
+	}
+	// Traceparent names the given span (or the root) as parent.
+	child := root.StartChild("c")
+	tp := got.Traceparent(child)
+	gt, gs, sampled, ok := ParseTraceparent(tp)
+	if !ok || gt != root.TraceID || gs != child.ID || !sampled {
+		t.Fatalf("Traceparent(child) = %q", tp)
+	}
+	if tp := got.Traceparent(nil); !strings.Contains(tp, root.ID.String()) {
+		t.Fatalf("Traceparent(nil) should name the root: %q", tp)
+	}
+}
+
+func TestStartChildConcurrent(t *testing.T) {
+	root := NewTracer().Start("req")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := root.StartChild("chunk")
+				sp.Set("n", int64(j))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if len(root.Children) != 16*50 {
+		t.Fatalf("children=%d, want %d", len(root.Children), 16*50)
+	}
+	for _, c := range root.Children {
+		if c.TraceID != root.TraceID || c.ParentID != root.ID {
+			t.Fatalf("child lost trace identity: %+v", c)
+		}
+	}
+}
+
+func TestSpanJSONIdentityAndClone(t *testing.T) {
+	root := NewTracer().Start("req")
+	child := root.StartChild("stage")
+	child.SetAttr("backend", "http://a")
+	child.End()
+	root.End()
+
+	js := root.JSON()
+	if js.TraceID != root.TraceID.String() {
+		t.Fatalf("top-level traceId: %q", js.TraceID)
+	}
+	if js.Children[0].TraceID != "" {
+		t.Fatal("traceId should appear on the top span only")
+	}
+	if js.Children[0].ParentSpanID != js.SpanID {
+		t.Fatalf("child parentSpanId %q != root spanId %q", js.Children[0].ParentSpanID, js.SpanID)
+	}
+	if js.Children[0].Attrs["backend"] != "http://a" {
+		t.Fatalf("attrs: %+v", js.Children[0].Attrs)
+	}
+
+	cl := js.Clone()
+	cl.Children[0].Attrs["backend"] = "mutated"
+	cl.Children = append(cl.Children, &SpanJSON{Name: "grafted"})
+	if js.Children[0].Attrs["backend"] != "http://a" || len(js.Children) != 1 {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+
+	var names []string
+	js.Walk(func(sp *SpanJSON) { names = append(names, sp.Name) })
+	if len(names) != 2 || names[0] != "req" || names[1] != "stage" {
+		t.Fatalf("walk order: %v", names)
+	}
+}

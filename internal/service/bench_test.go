@@ -47,3 +47,11 @@ func BenchmarkServiceCacheMiss(b *testing.B) { benchAnalyze(b, Config{CacheEntri
 func BenchmarkServiceCacheMissTraced(b *testing.B) {
 	benchAnalyze(b, Config{CacheEntries: -1, TraceAll: true})
 }
+
+// The untraced variant turns the trace exporter fully off (no sampling,
+// no slow retention, no export). Comparing against BenchmarkServiceCacheHit
+// — which exports every request at the default sample rate — bounds the
+// exporter's hot-path overhead; the budget is <2%.
+func BenchmarkServiceCacheHitUntraced(b *testing.B) {
+	benchAnalyze(b, Config{TraceSample: -1, SlowThreshold: -1})
+}

@@ -65,6 +65,19 @@ type Config struct {
 	// with "trace": true), feeding the per-stage latency histograms. The
 	// span tree is still only echoed to requests that opted in.
 	TraceAll bool
+	// TraceSample is the head-sampling rate: 1 in N new traces is marked
+	// sampled (retained in the debug ring even when fast and healthy).
+	// Slow, degraded, and errored requests are retained regardless of the
+	// sampling decision. 0 means 1 (sample everything); negative disables
+	// sampling, leaving only the always-retain paths.
+	TraceSample int
+	// SlowThreshold marks requests at least this long as slow: retained in
+	// the trace ring and logged at WARN with their stage breakdown. 0
+	// means 1s; negative disables the slow path.
+	SlowThreshold time.Duration
+	// TraceRing caps the in-memory ring of retained traces served at
+	// /debug/traces. 0 means 256.
+	TraceRing int
 }
 
 // Default returns the standard service configuration.
@@ -110,6 +123,15 @@ func (c Config) Normalize() Config {
 	}
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = time.Second
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 256
 	}
 	return c
 }

@@ -44,10 +44,13 @@ const (
 )
 
 // ErrorBody is the wire shape of one error: a stable machine-readable
-// code plus a human-readable message.
+// code plus a human-readable message. TraceID (additive) names the
+// distributed trace of the failed request, so an operator can jump from
+// an error body straight to /debug/traces/{id}.
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // errorResponse is every non-2xx response body.

@@ -10,10 +10,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	siwa "repro"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/waves"
 )
 
@@ -135,6 +137,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code string, form
 	writeJSON(w, status, errorResponse{Error: ErrorBody{
 		Code:    code,
 		Message: fmt.Sprintf(format, args...),
+		TraceID: w.Header().Get("X-Trace-Id"),
 	}})
 }
 
@@ -178,10 +181,11 @@ func verdictOf(rep *siwa.Report) string {
 // analyzeOutcome is what one analyzeOne call hands back to a handler:
 // everything the response body and the request log need.
 type analyzeOutcome struct {
-	report  json.RawMessage
-	verdict string
-	cached  bool
-	trace   *siwa.JSONSpan
+	report   json.RawMessage
+	verdict  string
+	cached   bool
+	degraded bool
+	trace    *siwa.JSONSpan
 }
 
 // analyzeOne serves one (source, options) pair: cache lookup, then a
@@ -196,6 +200,14 @@ func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options
 		return analyzeOutcome{report: res.Report, verdict: res.Verdict, cached: true}, nil
 	}
 	opt.Trace = wantTrace || s.cfg.TraceAll
+	// A sampled request's pipeline records into the request tracer, so
+	// the per-stage spans become children of the request root (and, via
+	// traceparent, of the gateway's span). Requests that explicitly asked
+	// to trace join the request tree too, even when head sampling said no.
+	if th := obs.TraceFromContext(ctx); th != nil && (th.Sampled || opt.Trace) {
+		opt.Tracer = th.Tracer // implies Trace
+		opt.Trace = true
+	}
 	// Limits, Parallelism and Degrade are service policy, not part of the
 	// content address: limits only turn requests into errors (never
 	// cached), parallelism never changes verdicts, and degraded reports
@@ -242,7 +254,7 @@ func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options
 			runErr = err
 			return
 		}
-		out = analyzeOutcome{report: b, verdict: verdictOf(rep)}
+		out = analyzeOutcome{report: b, verdict: verdictOf(rep), degraded: rep.Degraded}
 		if wantTrace {
 			out.trace = traceJSON
 		}
@@ -288,6 +300,9 @@ func (s *Server) logRequest(r *http.Request, id string, endpoint string, status 
 		slog.Int("status", status),
 		slog.Float64("ms", float64(time.Since(start))/float64(time.Millisecond)),
 	}
+	if trace := obs.TraceFromContext(r.Context()).TraceIDString(); trace != "" {
+		common = append(common, slog.String("trace", trace))
+	}
 	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request", append(common, attrs...)...)
 }
 
@@ -322,6 +337,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	algo := opt.Algorithm.String()
+	th := obs.TraceFromContext(r.Context())
+	th.RootSpan().SetAttr("algorithm", algo)
 	d, err := s.cfg.timeoutFor(req.TimeoutMs)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
@@ -331,6 +348,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	out, err := s.analyzeOne(ctx, req.Source, opt, req.Trace)
+	if out.degraded {
+		// Mark the request root so the exporter always retains degraded
+		// requests, whatever the sampling decision said.
+		th.RootSpan().Set("degraded", 1)
+	}
 	if err == nil {
 		writeJSON(w, http.StatusOK, AnalyzeResponse{
 			Report:    out.report,
@@ -353,11 +375,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Timeouts.Add(1)
 		s.setRetryAfter(w)
 		msg = fmt.Sprintf("analysis aborted: %v", err)
-		writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg}})
+		writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg, TraceID: w.Header().Get("X-Trace-Id")}})
 	case CodeShed:
 		s.metrics.Shed.Add(1)
 		s.setRetryAfter(w)
-		writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg}})
+		writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: msg, TraceID: w.Header().Get("X-Trace-Id")}})
 	default:
 		s.writeError(w, status, code, "%s", msg)
 	}
@@ -402,6 +424,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	results := make([]BatchResult, len(req.Programs))
 	var wg sync.WaitGroup
+	var degradedItems atomic.Int64
 	// Trickle items into the pool instead of flooding it: at most
 	// pool-size items from this batch are in admission at once, so a lone
 	// large batch never exhausts the queue and sheds itself; only genuine
@@ -465,11 +488,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			} else {
 				s.metrics.BatchItems[BatchOK].Add(1)
 			}
+			if out.degraded {
+				degradedItems.Add(1)
+			}
 			res.Report = out.report
 			res.Cached = out.cached
 		}(p.Source, opt, res)
 	}
 	wg.Wait()
+	if degradedItems.Load() > 0 {
+		// After the join: the root's counters are written on this goroutine
+		// only, and a degraded batch is always retained by the exporter.
+		obs.TraceFromContext(r.Context()).RootSpan().Set("degraded", degradedItems.Load())
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{
 		Results:   results,
 		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
@@ -561,5 +592,5 @@ func (s *Server) setRetryAfter(w http.ResponseWriter) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache, s.pool)
+	s.metrics.WriteTo(w, s.cache, s.pool, s.exporter)
 }

@@ -102,9 +102,10 @@ func (m *Metrics) ObserveSpans(root *obs.Span) {
 }
 
 // WriteTo renders every counter, histogram, and the cache and pool gauges
-// in Prometheus text format. Families and label sets are emitted in a
-// fixed order so the exposition is reproducible.
-func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool) {
+// in Prometheus text format, plus the trace-exporter counters and Go
+// runtime telemetry. Families and label sets are emitted in a fixed order
+// so the exposition is reproducible.
+func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, exporter *obs.Exporter) {
 	cs := cache.Stats()
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -135,6 +136,8 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool) {
 	gauge("siwa_workers_busy", "worker pool slots in use", int64(pool.InFlight()))
 	gauge("siwa_queue_depth", "admission queue capacity", int64(pool.QueueDepth()))
 	gauge("siwa_queued", "admitted analyses waiting for a worker slot", int64(pool.Queued()))
+	exporter.WriteProm(w, "siwa")
+	obs.WriteRuntimeMetrics(w, "siwa")
 
 	fmt.Fprintf(w, "# HELP siwa_http_request_seconds request wall time by endpoint\n# TYPE siwa_http_request_seconds histogram\n")
 	for _, ep := range []string{"analyze", "batch"} {

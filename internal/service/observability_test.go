@@ -74,6 +74,13 @@ func TestMetricsExposition(t *testing.T) {
 		"siwa_queued":                "gauge",
 		"siwa_http_request_seconds":  "histogram",
 		"siwa_analyze_stage_seconds": "histogram",
+		// Trace-exporter and Go-runtime telemetry families.
+		"siwa_traces_retained_total":     "counter",
+		"siwa_traces_dropped_total":      "counter",
+		"siwa_go_goroutines":             "gauge",
+		"siwa_go_heap_inuse_bytes":       "gauge",
+		"siwa_go_gc_pause_seconds_total": "counter",
+		"siwa_build_info":                "gauge",
 	}
 	for name, typ := range families {
 		if !strings.Contains(body, "# HELP "+name+" ") {
@@ -95,6 +102,17 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	if !strings.Contains(body, `siwa_batch_items_total{outcome="ok"} 1`) {
 		t.Error("batch ok count not 1")
+	}
+
+	// All four retention-reason series are pre-registered, even at zero,
+	// and the build-info gauge carries version and Go labels.
+	for _, reason := range []string{"error", "slow", "degraded", "sampled"} {
+		if !strings.Contains(body, fmt.Sprintf("siwa_traces_retained_total{reason=%q}", reason)) {
+			t.Errorf("retention reason %q not exported", reason)
+		}
+	}
+	if !strings.Contains(body, `siwa_build_info{version="`) || !strings.Contains(body, `,go="go`) {
+		t.Error("siwa_build_info missing version/go labels")
 	}
 
 	// The traced analyze populated per-stage series.

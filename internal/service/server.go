@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Server is the analysis service: HTTP handlers over a shared result
@@ -23,6 +24,7 @@ type Server struct {
 	cache    *Cache // nil when caching is disabled
 	pool     *Pool
 	metrics  *Metrics
+	exporter *obs.Exporter
 	handler  http.Handler
 	reqID    atomic.Uint64
 	draining atomic.Bool // graceful shutdown has begun; terminal
@@ -39,6 +41,14 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = NewCache(cfg.CacheEntries)
 	}
+	sampleN, slow := cfg.TraceSample, cfg.SlowThreshold
+	if sampleN < 0 {
+		sampleN = 0 // sampling disabled: only slow/degraded/errored retained
+	}
+	if slow < 0 {
+		slow = 0 // slow-path disabled
+	}
+	s.exporter = obs.NewExporter(cfg.TraceRing, sampleN, slow)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
@@ -46,6 +56,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.exporter.ServeList)
+	mux.HandleFunc("GET /debug/traces/{id}", s.exporter.ServeGet)
 	if cfg.EnablePprof {
 		// The index route also serves the named profiles (heap,
 		// goroutine, ...) via its trailing slash.
@@ -55,9 +67,14 @@ func New(cfg Config) *Server {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	s.handler = s.recoverPanics(s.withRequestID(mux))
+	// Tracing wraps panic recovery so the 500 a recovered panic writes is
+	// observed by the status recorder and the trace is retained as errored.
+	s.handler = s.withTracing(s.recoverPanics(s.withRequestID(mux)))
 	return s
 }
+
+// Exporter exposes the trace ring (for tests and embedding servers).
+func (s *Server) Exporter() *obs.Exporter { return s.exporter }
 
 // requestIDKey carries the per-request correlation id in the context.
 type requestIDKey struct{}
@@ -129,12 +146,14 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: ErrorBody{
 				Code:    CodeInternal,
 				Message: fmt.Sprintf("internal error: %v", rec),
+				TraceID: w.Header().Get("X-Trace-Id"),
 			}})
 		}()
 		if err := fault.Inject("service.handler"); err != nil {
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: ErrorBody{
 				Code:    CodeInternal,
 				Message: err.Error(),
+				TraceID: w.Header().Get("X-Trace-Id"),
 			}})
 			return
 		}
