@@ -7,7 +7,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -X repro/internal/obs.Version=$(VERSION)
 
-.PHONY: all build test race vet fmt bench bench-json fuzz experiments examples server gateway clean
+.PHONY: all build test race vet fmt bench bench-json fuzz experiments examples server gateway smoke clean
 
 all: build vet test
 
@@ -31,6 +31,12 @@ GWADDR ?= :8090
 BACKENDS ?= http://127.0.0.1:8080
 gateway:
 	$(GO) run -ldflags "$(LDFLAGS)" ./cmd/siwad-gateway -addr $(GWADDR) -backends $(BACKENDS)
+
+# E2E smokes over real processes: trace propagation across tiers, then
+# a brownout chaos drill (hedged requests around an injected slow wire).
+smoke:
+	bash scripts/trace_smoke.sh
+	bash scripts/chaos_smoke.sh
 
 vet:
 	$(GO) vet ./...

@@ -30,6 +30,20 @@
 //	                       (default 2s)
 //	-retries N             extra attempts after an upstream 429/503
 //	                       (default 2, -1 disables)
+//	-retry-budget RATIO    retry tokens earned per upstream success; retries
+//	                       and hedges spend whole tokens, capping the
+//	                       sustained retry ratio (default 0.1, 0 disables)
+//	-retry-burst N         retry-token bucket capacity and initial fill
+//	                       (default 10)
+//	-hedge-after P         hedge single analyzes once the primary exceeds
+//	                       its observed P-th latency percentile: one
+//	                       speculative attempt to the next ring candidate,
+//	                       first answer wins (default 95, 0 disables)
+//	-default-timeout D     end-to-end deadline budget for requests without
+//	                       a timeoutMs; the remainder is propagated to
+//	                       replicas via X-Deadline-Ms (default 30s)
+//	-max-timeout D         clamp on client-requested deadline budgets
+//	                       (default 5m)
 //	-chunk N               items per upstream sub-batch (default 16)
 //	-max-batch N           programs per gateway batch request (default 1024)
 //	-max-body N            request body limit in bytes (default 4 MiB)
@@ -79,6 +93,11 @@ func run(args []string) int {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "transport failures that open a breaker (0 = 3)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown (0 = 2s)")
 	retries := fs.Int("retries", 0, "extra attempts after upstream 429/503 (0 = 2, -1 disables)")
+	retryBudget := fs.Float64("retry-budget", 0.1, "retry tokens earned per upstream success (0 disables retry budgeting)")
+	retryBurst := fs.Int("retry-burst", 0, "retry-token bucket capacity (0 = 10)")
+	hedgeAfter := fs.Int("hedge-after", 95, "hedge single analyzes after this latency percentile, 1-99 (0 disables)")
+	defaultTimeout := fs.Duration("default-timeout", 0, "deadline budget for requests without timeoutMs (0 = 30s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "clamp on client-requested deadline budgets (0 = 5m)")
 	chunk := fs.Int("chunk", 0, "items per upstream sub-batch (0 = 16)")
 	maxBatch := fs.Int("max-batch", 0, "programs per batch request (0 = 1024)")
 	maxBody := fs.Int64("max-body", 0, "request body limit in bytes (0 = 4 MiB)")
@@ -122,6 +141,11 @@ func run(args []string) int {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		MaxRetries:       *retries,
+		RetryBudgetRatio: zeroDisablesF(*retryBudget),
+		RetryBudgetBurst: *retryBurst,
+		HedgePercentile:  *hedgeAfter,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
 		BatchChunk:       *chunk,
 		MaxBatch:         *maxBatch,
 		MaxBodyBytes:     *maxBody,
@@ -150,6 +174,14 @@ func run(args []string) int {
 // zeroDisables maps the flag convention (0 = off) onto the Config
 // convention (0 = default, negative = off).
 func zeroDisables(flagVal int) int {
+	if flagVal == 0 {
+		return -1
+	}
+	return flagVal
+}
+
+// zeroDisablesF is zeroDisables for float-valued flags (-retry-budget).
+func zeroDisablesF(flagVal float64) float64 {
 	if flagVal == 0 {
 		return -1
 	}

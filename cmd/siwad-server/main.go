@@ -31,6 +31,9 @@
 //	-max-batch N      programs per batch request (default 256)
 //	-timeout D        default per-request analysis deadline (default 30s)
 //	-max-timeout D    upper clamp on client-requested deadlines (default 5m)
+//	-deadline-floor D smallest propagated X-Deadline-Ms budget worth
+//	                  admitting; below it requests are shed outright and
+//	                  counted in siwa_deadline_shed_total (default 5ms)
 //	-log MODE         request logging: text, json, or off (default text)
 //	-trace            trace every analysis, feeding the per-stage latency
 //	                  histograms (requests can still opt in per-call)
@@ -83,6 +86,7 @@ func run(args []string) int {
 	maxBatch := fs.Int("max-batch", 0, "programs per batch request (0 = 256)")
 	timeout := fs.Duration("timeout", 0, "default analysis deadline (0 = 30s)")
 	maxTimeout := fs.Duration("max-timeout", 0, "deadline clamp (0 = 5m)")
+	deadlineFloor := fs.Duration("deadline-floor", 0, "smallest propagated deadline budget worth admitting (0 = 5ms)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain budget")
 	logMode := fs.String("log", "text", "request logging: text, json, or off")
 	trace := fs.Bool("trace", false, "trace every analysis into the per-stage latency histograms")
@@ -127,6 +131,7 @@ func run(args []string) int {
 		MaxBatch:       *maxBatch,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		DeadlineFloor:  *deadlineFloor,
 		ShutdownGrace:  *grace,
 		Logger:         logger,
 		EnablePprof:    *enablePprof,

@@ -23,10 +23,16 @@ type batchItem struct {
 }
 
 // batchMeta is the batch-level envelope replicated onto every upstream
-// sub-batch.
+// sub-batch. deadline is the whole batch's absolute deadline budget: each
+// sub-batch carries the time REMAINING when it is sent (not the client's
+// original timeoutMs — a chunk re-scattered after a slow first pass must
+// not grant its new replica the full budget all over again). A zero
+// deadline (negative timeoutMs, left for the replica to reject) relays
+// timeoutMs verbatim.
 type batchMeta struct {
 	options   *service.WireOptions
 	timeoutMs int64
+	deadline  time.Time
 }
 
 func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -56,7 +62,17 @@ func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
 		items[i] = batchItem{idx: i, prog: p, digest: DigestOf(p.Source)}
 	}
 	results := make([]service.BatchResult, len(req.Programs))
-	g.scatter(r.Context(), batchMeta{options: req.Options, timeoutMs: req.TimeoutMs}, items, results, 0)
+	meta := batchMeta{options: req.Options, timeoutMs: req.TimeoutMs}
+	rctx := r.Context()
+	if req.TimeoutMs >= 0 {
+		d := g.cfg.budgetFor(req.TimeoutMs)
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(rctx, d)
+		defer cancel()
+		meta.deadline = time.Now().Add(d)
+		rctx = withBudget(rctx, meta.deadline)
+	}
+	g.scatter(rctx, meta, items, results, 0)
 	var ok, failed, unavailable int
 	for i := range results {
 		switch results[i].ErrorCode {
@@ -172,10 +188,22 @@ func (g *Gateway) sendChunk(ctx context.Context, b *backend, meta batchMeta, chu
 	for i, it := range chunk {
 		progs[i] = it.prog
 	}
+	// Decrement the deadline by time already elapsed: a sub-batch sent (or
+	// re-scattered) late in the budget carries only what is left, never
+	// the caller's original timeoutMs verbatim. Floor of 1ms: 0 would mean
+	// "use the replica default" on the wire.
+	timeoutMs := meta.timeoutMs
+	if !meta.deadline.IsZero() {
+		rem := time.Until(meta.deadline)
+		if rem < time.Millisecond {
+			rem = time.Millisecond
+		}
+		timeoutMs = int64(rem / time.Millisecond)
+	}
 	body, err := json.Marshal(service.BatchRequest{
 		Programs:  progs,
 		Options:   meta.options,
-		TimeoutMs: meta.timeoutMs,
+		TimeoutMs: timeoutMs,
 	})
 	if err != nil {
 		for _, it := range chunk {
@@ -208,11 +236,19 @@ func (g *Gateway) sendChunk(ctx context.Context, b *backend, meta batchMeta, chu
 		}
 		return
 	}
-	if res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable {
-		if pass < len(g.backends) && g.sleepRetry(ctx, pass, res.retryAfter) {
+	if retryable(res.status) && pass < len(g.backends) {
+		// A re-scatter is a retry: it must clear the global retry budget
+		// (the retried items fan back out across the ring, so no single
+		// backend's bucket is the target) and fit the remaining deadline.
+		switch {
+		case !g.trySpendRetryGlobal():
+			g.metrics.RetryBudgetExhausted.Add(1)
+		case g.sleepRetry(ctx, pass, res.retryAfter):
 			g.metrics.Retries.Add(1)
 			g.scatter(ctx, meta, chunk, results, pass+1)
 			return
+		default:
+			g.retryBudget.Refund() // deadline aborted the sleep; the retry never ran
 		}
 	}
 	if res.status != http.StatusOK {

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// The deadline budget is the end-to-end time the client gave this request
+// (timeoutMs, or the gateway default), carried through the proxy path as
+// an absolute deadline so every stage can ask "how much is left?". It
+// rides in a context VALUE — not the context deadline alone — because the
+// single-flight leader detaches from its request context with
+// context.WithoutCancel, which drops the deadline but keeps values: the
+// leader still knows the budget it is working under even though its
+// cancellation is decoupled from the client that started it.
+//
+// Every upstream request carries the remaining budget in the
+// X-Deadline-Ms header (a duration, not a wall-clock timestamp, so clock
+// skew between gateway and replica cannot corrupt it), and the replica
+// adopts it as its context deadline: no replica computes past the
+// caller's deadline, and a budget already too small to be worth admitting
+// is shed before any work starts.
+
+// budgetKey carries the absolute deadline in the context.
+type budgetKey struct{}
+
+// withBudget attaches the request's absolute deadline to ctx.
+func withBudget(ctx context.Context, deadline time.Time) context.Context {
+	return context.WithValue(ctx, budgetKey{}, deadline)
+}
+
+// remainingBudget reports how much of the request's deadline budget is
+// left. ok is false when the request carries no budget (direct callers of
+// internal helpers, health probes).
+func remainingBudget(ctx context.Context) (time.Duration, bool) {
+	deadline, ok := ctx.Value(budgetKey{}).(time.Time)
+	if !ok {
+		return 0, false
+	}
+	return time.Until(deadline), true
+}
+
+// minAttemptHeadroom is the smallest remaining budget worth spending on
+// another network attempt: below it, retries and hedges stop and the
+// request's current outcome stands.
+const minAttemptHeadroom = 5 * time.Millisecond
+
+// budgetFor resolves a client-requested timeoutMs (already validated
+// non-negative) against the gateway's default and clamp, mirroring the
+// replica's own resolution so the two tiers agree on the budget.
+func (c Config) budgetFor(timeoutMs int64) time.Duration {
+	d := c.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > c.MaxTimeout {
+		d = c.MaxTimeout
+	}
+	return d
+}

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -75,6 +76,33 @@ type Config struct {
 	// one client disconnecting must not cancel everyone); this is the
 	// replacement bound. 0 means 60s.
 	UpstreamTimeout time.Duration
+	// DefaultTimeout is the end-to-end deadline budget applied to requests
+	// that carry no timeoutMs of their own. The budget is decremented
+	// across retries, backoff sleeps, and batch re-scatter rounds, and the
+	// remainder is propagated to replicas via the X-Deadline-Ms header.
+	// 0 means 30s, matching the replica default.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadline budgets. 0 means 5m,
+	// matching the replica clamp.
+	MaxTimeout time.Duration
+	// RetryBudgetRatio is the fraction of a retry token each upstream
+	// success earns: retries (and hedges) spend whole tokens from a global
+	// bucket plus the target backend's bucket, so the sustained retry
+	// ratio can never exceed RetryBudgetRatio and retries shut off during
+	// a brownout instead of amplifying it. 0 means 0.1; negative disables
+	// retry budgeting (retries bounded only by MaxRetries).
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is each bucket's capacity and initial fill — the
+	// number of retries a cold gateway may spend before earning any.
+	// 0 means 10.
+	RetryBudgetBurst int
+	// HedgePercentile arms hedged requests for single analyzes: when the
+	// primary backend has not answered within its observed latency at this
+	// percentile (from the per-backend histogram; 100ms until enough
+	// samples exist), the gateway issues one speculative attempt to the
+	// next ring candidate and takes whichever answers first. 1-99; 0 (the
+	// zero value) or negative disables hedging.
+	HedgePercentile int
 	// BatchChunk is how many items of one backend's batch share go into
 	// each upstream sub-batch request: small chunks stream a large batch
 	// through the fleet and bound the blast radius of a mid-batch replica
@@ -140,6 +168,23 @@ func (c Config) Normalize() Config {
 	if c.UpstreamTimeout <= 0 {
 		c.UpstreamTimeout = 60 * time.Second
 	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetryBudgetRatio == 0 {
+		c.RetryBudgetRatio = 0.1
+	}
+	if c.RetryBudgetBurst <= 0 {
+		c.RetryBudgetBurst = 10
+	}
+	if c.HedgePercentile < 0 {
+		c.HedgePercentile = 0
+	} else if c.HedgePercentile > 99 {
+		c.HedgePercentile = 99
+	}
 	if c.BatchChunk <= 0 {
 		c.BatchChunk = 16
 	}
@@ -169,7 +214,8 @@ func (c Config) Normalize() Config {
 type backend struct {
 	name    string // base URL, also the ring point seed
 	breaker *Breaker
-	up      atomic.Bool // latest /healthz + /readyz verdict; starts true
+	retry   *retryBudget // per-backend retry tokens; nil when disabled
+	up      atomic.Bool  // latest /healthz + /readyz verdict; starts true
 }
 
 // eligible reports whether new work may be routed here right now, without
@@ -180,16 +226,17 @@ func (b *backend) eligible() bool { return b.up.Load() && b.breaker.Ready() }
 // Construct with New; serve with Run, or mount Handler under httptest and
 // drive probes via CheckNow/RunChecker. Safe for concurrent use.
 type Gateway struct {
-	cfg      Config
-	ring     *Ring
-	backends []*backend
-	metrics  *Metrics
-	flights  *flightGroup
-	exporter *obs.Exporter
-	client   *http.Client
-	handler  http.Handler
-	reqID    atomic.Uint64
-	draining atomic.Bool
+	cfg         Config
+	ring        *Ring
+	backends    []*backend
+	metrics     *Metrics
+	flights     *flightGroup
+	exporter    *obs.Exporter
+	client      *http.Client
+	handler     http.Handler
+	retryBudget *retryBudget // global retry tokens; nil when disabled
+	reqID       atomic.Uint64
+	draining    atomic.Bool
 }
 
 // New builds a Gateway over cfg.Backends (at least one required).
@@ -210,16 +257,25 @@ func New(cfg Config) (*Gateway, error) {
 		ring:    NewRing(cfg.Backends, cfg.VirtualNodes),
 		flights: newFlightGroup(cfg.UpstreamTimeout),
 		// One shared client: keep-alive connection reuse to every replica
-		// is what keeps the proxy hop cheap.
-		client: &http.Client{Transport: &http.Transport{
+		// is what keeps the proxy hop cheap. The fault wrapper is free
+		// (one atomic load) until SIWA_FAULTS arms a gateway.net.* point,
+		// at which point chaos drills can add latency, reset connections,
+		// black-hole requests, or truncate bodies on the upstream wire.
+		client: &http.Client{Transport: fault.NewTransport(&http.Transport{
 			MaxIdleConnsPerHost: 64,
 			IdleConnTimeout:     90 * time.Second,
-		}},
+		}, "gateway.net")},
+	}
+	if cfg.RetryBudgetRatio > 0 {
+		g.retryBudget = newRetryBudget(cfg.RetryBudgetBurst, cfg.RetryBudgetRatio)
 	}
 	for _, name := range cfg.Backends {
 		b := &backend{
 			name:    name,
 			breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		}
+		if cfg.RetryBudgetRatio > 0 {
+			b.retry = newRetryBudget(cfg.RetryBudgetBurst, cfg.RetryBudgetRatio)
 		}
 		b.up.Store(true) // optimistic until the first probe says otherwise
 		g.backends = append(g.backends, b)

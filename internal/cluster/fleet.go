@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // StageQuantiles are latency quantiles for one pipeline stage, estimated
@@ -296,43 +298,17 @@ func stageQuantiles(samples promSamples) map[string]StageQuantiles {
 }
 
 // quantileFromBuckets estimates the q-quantile (in seconds) from
-// cumulative bucket counts: find the bucket the target rank falls in and
-// interpolate linearly across it. Samples beyond the last finite bound
-// clamp to that bound — the honest answer a bounded histogram can give.
+// cumulative bucket counts parsed out of a replica's exposition, by way
+// of obs.HistogramSnapshot.Quantile — the same interpolation the hedging
+// path uses on live histograms, so fleet-reported and hedge-observed
+// percentiles can never disagree about what a bucket layout means.
 func quantileFromBuckets(bounds []float64, cumulative []uint64, q float64) float64 {
-	if len(cumulative) == 0 || len(bounds) == 0 {
+	if len(cumulative) == 0 {
 		return 0
 	}
-	total := cumulative[len(cumulative)-1]
-	if total == 0 {
-		return 0
-	}
-	target := q * float64(total)
-	for i, c := range cumulative {
-		if float64(c) < target {
-			continue
-		}
-		if i >= len(bounds) {
-			return bounds[len(bounds)-1] // +Inf bucket: clamp
-		}
-		lo := 0.0
-		var below uint64
-		if i > 0 {
-			lo = bounds[i-1]
-			below = cumulative[i-1]
-		}
-		inBucket := c - below
-		if inBucket == 0 {
-			return bounds[i]
-		}
-		frac := (target - float64(below)) / float64(inBucket)
-		if frac < 0 {
-			frac = 0
-		}
-		if frac > 1 {
-			frac = 1
-		}
-		return lo + frac*(bounds[i]-lo)
-	}
-	return bounds[len(bounds)-1]
+	return obs.HistogramSnapshot{
+		Bounds:     bounds,
+		Cumulative: cumulative,
+		Count:      cumulative[len(cumulative)-1],
+	}.Quantile(q)
 }

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Hedged requests bound tail latency when one replica browns out: if the
+// digest's owner has not answered within its own observed latency at the
+// configured percentile, the gateway issues one speculative attempt to
+// the next ring candidate and takes whichever answers first, cancelling
+// the loser. Hedging is safe here by construction — analyses are pure
+// functions of (source, options), results are content-addressed, and the
+// replica caches make a duplicate attempt nearly free — so the only real
+// cost is the extra request, which is charged to the retry budget:
+// hedges are disabled when the budget runs low, so speculation never
+// competes with genuine retries during an outage.
+
+const (
+	// hedgeMinSamples is how many latency observations a backend needs
+	// before its own histogram drives the hedge delay.
+	hedgeMinSamples = 16
+	// hedgeFallbackDelay is the hedge delay for a cold backend.
+	hedgeFallbackDelay = 100 * time.Millisecond
+)
+
+// hedgeEnabled reports whether this request may hedge: hedging is
+// configured on, the request is a single analyze (batch chunks have their
+// own re-scatter machinery), there is a second candidate to hedge to, and
+// the retry budget is not running low.
+func (g *Gateway) hedgeEnabled(path string, elig []*backend) bool {
+	return g.cfg.HedgePercentile > 0 &&
+		path == "/v1/analyze" &&
+		len(elig) >= 2 &&
+		!g.retryBudget.Low()
+}
+
+// hedgeDelay is how long the primary gets before the hedge fires: its own
+// latency at the configured percentile, once enough samples exist.
+func (g *Gateway) hedgeDelay(primary *backend) time.Duration {
+	s := g.metrics.backend(primary.name).Latency.Snapshot()
+	if s.Count < hedgeMinSamples {
+		return hedgeFallbackDelay
+	}
+	d := time.Duration(s.Quantile(float64(g.cfg.HedgePercentile)/100) * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// pickHedge chooses and charges the hedge target: the first non-primary
+// candidate whose breaker slot and retry tokens are both available. nil
+// means no hedge this time.
+func (g *Gateway) pickHedge(ctx context.Context, elig []*backend, primary *backend) *backend {
+	if rem, ok := remainingBudget(ctx); ok && rem < minAttemptHeadroom {
+		return nil // the deadline will kill the hedge before it helps
+	}
+	for _, b := range elig {
+		if b == primary {
+			continue
+		}
+		if !b.breaker.Acquire() {
+			continue
+		}
+		if !g.trySpendRetry(b) {
+			b.breaker.Release()
+			return nil
+		}
+		return b
+	}
+	return nil
+}
+
+// attemptResult is one attempt's outcome crossing back to the
+// coordinating goroutine. idx 0 is the primary, 1 the hedge.
+type attemptResult struct {
+	idx int
+	res *upstream
+	err error
+}
+
+// usable reports whether an attempt produced an answer worth relaying.
+func (r *attemptResult) usable() bool {
+	return r != nil && r.err == nil && !retryable(r.res.status)
+}
+
+// hedgedAttempt runs the first routing attempt with one speculative
+// backup: the primary is sent immediately; if it has not answered within
+// hedgeDelay, one hedge goes to the next candidate and the first usable
+// answer wins, the loser's context is cancelled, and its send is drained
+// before returning so nothing outlives the attempt.
+//
+// Concurrency contract with obs.Span: each attempt's span is created,
+// attributed, and ended by THIS goroutine only. The sender goroutines
+// receive the span purely for traceparent injection (immutable id reads)
+// plus send's deadline_ms counter, and every such write is sequenced
+// before this goroutine's End by the result-channel receive.
+func (g *Gateway) hedgedAttempt(ctx context.Context, elig []*backend, path string, body []byte, reqID string, root *obs.Span) (*upstream, error) {
+	primary := elig[0]
+	pname := attemptSpanName(primary, 0)
+	if !primary.breaker.Acquire() {
+		return nil, errProbeLost
+	}
+	results := make(chan attemptResult, 2) // buffered: a loser's late send never blocks
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	psp := root.StartChild(pname)
+	psp.SetAttr("backend", primary.name)
+	psp.Set("attempt", 0)
+	go func() {
+		res, err := g.send(pctx, primary, http.MethodPost, path, body, reqID, psp)
+		results <- attemptResult{idx: 0, res: res, err: err}
+	}()
+
+	// Phase 1: give the primary its hedge window.
+	timer := time.NewTimer(g.hedgeDelay(primary))
+	defer timer.Stop()
+	select {
+	case r := <-results:
+		finishAttemptSpan(psp, r.res, r.err)
+		return g.finishUnhedged(ctx, primary, r)
+	case <-ctx.Done():
+		pcancel()
+		r := <-results
+		finishAttemptSpan(psp, r.res, r.err)
+		return nil, ctx.Err()
+	case <-timer.C:
+	}
+
+	// Phase 2: the primary is slow — launch the hedge if a candidate and
+	// the budget allow.
+	hedge := g.pickHedge(ctx, elig, primary)
+	if hedge == nil {
+		r := <-results
+		finishAttemptSpan(psp, r.res, r.err)
+		return g.finishUnhedged(ctx, primary, r)
+	}
+	g.metrics.Hedges.Add(1)
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	hsp := root.StartChild("hedge")
+	hsp.SetAttr("backend", hedge.name)
+	hsp.Set("attempt", 0)
+	go func() {
+		res, err := g.send(hctx, hedge, http.MethodPost, path, body, reqID, hsp)
+		results <- attemptResult{idx: 1, res: res, err: err}
+	}()
+
+	spans := [2]*obs.Span{psp, hsp}
+	cancels := [2]context.CancelFunc{pcancel, hcancel}
+	first := <-results
+	if first.usable() {
+		// Cancel and drain the loser before touching either span: the
+		// drain sequences the loser goroutine's last span write before the
+		// Ends below.
+		cancels[1-first.idx]()
+		loser := <-results
+		finishAttemptSpan(spans[first.idx], first.res, first.err)
+		finishAttemptSpan(spans[loser.idx], loser.res, loser.err)
+		spans[loser.idx].SetAttr("hedge_outcome", "cancelled")
+		if first.idx == 1 {
+			g.metrics.HedgeWins.Add(1)
+		}
+		return first.res, nil
+	}
+	// The first answer was a shed/timeout/transport failure: the other
+	// attempt is still live and may yet produce a real answer — wait for
+	// it rather than burning a retry.
+	second := <-results
+	finishAttemptSpan(spans[first.idx], first.res, first.err)
+	finishAttemptSpan(spans[second.idx], second.res, second.err)
+	if second.usable() {
+		if second.idx == 1 {
+			g.metrics.HedgeWins.Add(1)
+		}
+		return second.res, nil
+	}
+	// Neither attempt produced a usable answer: surface the PRIMARY's
+	// outcome so hedging never changes the failure semantics the retry
+	// loop and the client see.
+	p := first
+	if p.idx != 0 {
+		p = second
+	}
+	return g.finishUnhedged(ctx, primary, p)
+}
+
+// finishUnhedged maps a lone attempt's outcome onto the routing loop's
+// contract, mirroring attemptOne's error mapping.
+func (g *Gateway) finishUnhedged(ctx context.Context, b *backend, r attemptResult) (*upstream, error) {
+	if r.err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &unavailableError{backend: b.name, err: r.err}
+	}
+	return r.res, nil
+}

@@ -27,6 +27,10 @@ type Metrics struct {
 	Unavailable     atomic.Uint64 // requests/items that found no reachable backend
 	Panics          atomic.Uint64 // panics recovered in gateway handlers
 
+	Hedges               atomic.Uint64 // speculative attempts launched for slow primaries
+	HedgeWins            atomic.Uint64 // hedged attempts whose answer was relayed
+	RetryBudgetExhausted atomic.Uint64 // retries suppressed by an empty retry budget
+
 	ItemsOK          atomic.Uint64 // batch items proxied successfully
 	ItemsError       atomic.Uint64 // batch items with an upstream error code
 	ItemsUnavailable atomic.Uint64 // batch items lost to a dead replica
@@ -63,6 +67,16 @@ func (m *Metrics) WriteTo(w io.Writer, g *Gateway) {
 	counter("siwa_gateway_retries_total", "upstream 429/503 responses retried with backoff", m.Retries.Load())
 	counter("siwa_gateway_unavailable_total", "requests or batch items that found no reachable backend", m.Unavailable.Load())
 	counter("siwa_gateway_panics_total", "panics recovered in gateway handlers", m.Panics.Load())
+	counter("siwa_gateway_hedges_total", "speculative attempts launched for slow primaries", m.Hedges.Load())
+	counter("siwa_gateway_hedge_wins_total", "hedged attempts whose answer was relayed to the client", m.HedgeWins.Load())
+	counter("siwa_gateway_retry_budget_exhausted_total", "retries suppressed because the retry budget was empty", m.RetryBudgetExhausted.Load())
+	if g.retryBudget != nil {
+		fmt.Fprintf(w, "# HELP siwa_gateway_retry_budget_tokens retry tokens available\n# TYPE siwa_gateway_retry_budget_tokens gauge\n")
+		fmt.Fprintf(w, "siwa_gateway_retry_budget_tokens{scope=%q} %g\n", "global", g.retryBudget.Tokens())
+		for _, b := range g.backends {
+			fmt.Fprintf(w, "siwa_gateway_retry_budget_tokens{scope=%q} %g\n", b.name, b.retry.Tokens())
+		}
+	}
 	fmt.Fprintf(w, "# HELP siwa_gateway_batch_items_total per-item outcomes inside proxied batches\n# TYPE siwa_gateway_batch_items_total counter\n")
 	fmt.Fprintf(w, "siwa_gateway_batch_items_total{outcome=%q} %d\n", "ok", m.ItemsOK.Load())
 	fmt.Fprintf(w, "siwa_gateway_batch_items_total{outcome=%q} %d\n", "error", m.ItemsError.Load())

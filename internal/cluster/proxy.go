@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"sync"
@@ -28,6 +29,11 @@ type upstream struct {
 	retryAfter  string
 	body        []byte
 	backend     string
+	// budgetExhausted marks a response whose retries were cut off by the
+	// retry budget rather than MaxRetries; relay surfaces it as the
+	// X-Retry-Budget: exhausted header so clients can tell "the fleet is
+	// shedding and the gateway stopped amplifying" from an ordinary 429.
+	budgetExhausted bool
 }
 
 // relay writes an upstream response to the client unchanged: same status,
@@ -38,6 +44,9 @@ func (u *upstream) relay(w http.ResponseWriter) {
 	}
 	if u.retryAfter != "" {
 		w.Header().Set("Retry-After", u.retryAfter)
+	}
+	if u.budgetExhausted {
+		w.Header().Set("X-Retry-Budget", "exhausted")
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(u.body)))
 	w.WriteHeader(u.status)
@@ -109,6 +118,18 @@ func (g *Gateway) send(ctx context.Context, b *backend, method, path string, bod
 	if reqID != "" {
 		req.Header.Set("X-Request-Id", reqID)
 	}
+	if rem, ok := remainingBudget(ctx); ok {
+		// Propagate the budget as a remaining duration (not a wall-clock
+		// deadline), so replica clock skew cannot corrupt it. The replica
+		// adopts it as its context deadline and sheds outright when it is
+		// below the admission floor.
+		ms := rem.Milliseconds()
+		if ms < 0 {
+			ms = 0
+		}
+		req.Header.Set(service.DeadlineHeader, strconv.FormatInt(ms, 10))
+		sp.Set("deadline_ms", ms)
+	}
 	if tp := obs.TraceFromContext(ctx).Traceparent(sp); tp != "" {
 		req.Header.Set(obs.TraceparentHeader, tp)
 	}
@@ -138,6 +159,13 @@ func (g *Gateway) send(ctx context.Context, b *backend, method, path string, bod
 	}
 	b.breaker.Success()
 	bm.Latency.Observe(time.Since(start))
+	if !retryable(resp.StatusCode) {
+		// A useful answer funds future retries; a shed or timeout does not
+		// (paying retry tokens out of pushback would let a drowning fleet
+		// keep financing the retries that drown it).
+		b.retry.Earn()
+		g.retryBudget.Earn()
+	}
 	return &upstream{
 		status:      resp.StatusCode,
 		contentType: resp.Header.Get("Content-Type"),
@@ -147,18 +175,26 @@ func (g *Gateway) send(ctx context.Context, b *backend, method, path string, bod
 	}, nil
 }
 
-// sleepRetry waits out the backoff before a retry attempt: the base
-// doubles per attempt, and an upstream Retry-After hint overrides it
-// (clamped to RetryAfterCap — the gateway holds a client connection while
-// it waits, so it will not honor a multi-minute hint). Returns false if
-// ctx expired first.
+// sleepRetry waits out the backoff before a retry attempt: the delay is
+// drawn uniformly from [0, base<<attempt] (full jitter — a synchronized
+// herd of clients whose replica just recovered must not all retry in the
+// same instant and shed it again), and an upstream Retry-After hint
+// overrides it (clamped to RetryAfterCap — the gateway holds a client
+// connection while it waits, so it will not honor a multi-minute hint).
+// Returns false if ctx expired first, or if the request's remaining
+// deadline budget cannot cover the sleep plus another attempt — waiting
+// out a backoff the deadline will kill anyway is pure waste.
 func (g *Gateway) sleepRetry(ctx context.Context, attempt int, retryAfter string) bool {
-	d := g.cfg.RetryBackoff << attempt
+	ceil := g.cfg.RetryBackoff << attempt
+	d := time.Duration(rand.Int64N(int64(ceil) + 1))
 	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
 		d = time.Duration(secs) * time.Second
 		if d > g.cfg.RetryAfterCap {
 			d = g.cfg.RetryAfterCap
 		}
+	}
+	if rem, ok := remainingBudget(ctx); ok && rem < d+minAttemptHeadroom {
+		return false
 	}
 	if d <= 0 {
 		return ctx.Err() == nil
@@ -173,14 +209,77 @@ func (g *Gateway) sleepRetry(ctx context.Context, attempt int, retryAfter string
 	}
 }
 
+// errProbeLost is the internal sentinel for an attempt that never started
+// because the backend's half-open probe slot was already taken; the
+// routing loop moves on to the next candidate.
+var errProbeLost = errors.New("half-open probe slot taken")
+
+// retryable reports whether an upstream status is worth another attempt:
+// 429 (shed) and 503 (timeout/unavailable) are load conditions that a
+// different replica may not share.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// attemptSpanName names an attempt span by what it is: the first routing
+// decision, a retry after upstream pushback, or the single half-open
+// probe that tests a recovering backend.
+func attemptSpanName(b *backend, attempt int) string {
+	if b.breaker.State() != BreakerClosed {
+		return "breaker-probe"
+	}
+	if attempt > 0 {
+		return "retry"
+	}
+	return "route"
+}
+
+// finishAttemptSpan closes an attempt span with its outcome.
+func finishAttemptSpan(sp *obs.Span, res *upstream, err error) {
+	sp.End()
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		return
+	}
+	sp.Set("status", int64(res.status))
+}
+
+// attemptOne performs one routing attempt against b: acquire the breaker
+// slot, trace it, send. Errors are mapped for the routing loop:
+// errProbeLost means "never started, try the next candidate"; a context
+// error means the client is gone; anything else is a transport-level
+// unavailableError.
+func (g *Gateway) attemptOne(ctx context.Context, b *backend, attempt int, path string, body []byte, reqID string, root *obs.Span) (*upstream, error) {
+	name := attemptSpanName(b, attempt)
+	if !b.breaker.Acquire() {
+		return nil, errProbeLost
+	}
+	sp := root.StartChild(name)
+	sp.SetAttr("backend", b.name)
+	sp.Set("attempt", int64(attempt))
+	res, err := g.send(ctx, b, http.MethodPost, path, body, reqID, sp)
+	finishAttemptSpan(sp, res, err)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &unavailableError{backend: b.name, err: err}
+	}
+	return res, nil
+}
+
 // forward routes one request body to the digest's owner, with bounded
 // retry: 429 (shed) and 503 (timeout/unavailable) responses are retried
-// against the next ring candidate after backing off, up to MaxRetries
-// extra attempts; when retries run out the last upstream response is
-// relayed verbatim. A transport failure is NOT retried — the items in
-// flight to a dying replica surface as "unavailable" immediately, the
-// breaker opens after the threshold, and subsequent requests route
-// around the corpse.
+// against the next ring candidate after a jittered backoff, up to
+// MaxRetries extra attempts — each retry spending a token from the retry
+// budget, so a browned-out fleet sheds retries instead of being swamped
+// by them; when retries run out (or the budget is exhausted) the last
+// upstream response is relayed verbatim. A transport failure is NOT
+// retried — the items in flight to a dying replica surface as
+// "unavailable" immediately, the breaker opens after the threshold, and
+// subsequent requests route around the corpse. Single analyzes on a
+// hedging-enabled gateway race the first attempt against one speculative
+// attempt to the next ring candidate (hedge.go).
 func (g *Gateway) forward(ctx context.Context, d Digest, path string, body []byte, reqID string) (*upstream, error) {
 	elig := make([]*backend, 0, len(g.backends))
 	for _, ci := range g.ring.Candidates(d) {
@@ -195,37 +294,31 @@ func (g *Gateway) forward(ctx context.Context, d Digest, path string, body []byt
 	var last *upstream
 	for attempt := 0; attempt <= g.cfg.MaxRetries; attempt++ {
 		b := elig[attempt%len(elig)]
-		// Name the attempt span by what it is: the first routing decision,
-		// a retry after upstream pushback, or the single half-open probe
-		// that tests a recovering backend.
-		name := "route"
-		if attempt > 0 {
-			name = "retry"
+		var res *upstream
+		var err error
+		if attempt == 0 && g.hedgeEnabled(path, elig) {
+			res, err = g.hedgedAttempt(ctx, elig, path, body, reqID, root)
+		} else {
+			res, err = g.attemptOne(ctx, b, attempt, path, body, reqID, root)
 		}
-		if b.breaker.State() != BreakerClosed {
-			name = "breaker-probe"
-		}
-		if !b.breaker.Acquire() {
-			continue // lost the half-open probe slot; try the next candidate
-		}
-		sp := root.StartChild(name)
-		sp.SetAttr("backend", b.name)
-		sp.Set("attempt", int64(attempt))
-		res, err := g.send(ctx, b, http.MethodPost, path, body, reqID, sp)
-		sp.End()
 		if err != nil {
-			sp.SetAttr("error", err.Error())
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
+			if errors.Is(err, errProbeLost) {
+				continue // lost the half-open probe slot; try the next candidate
 			}
-			return nil, &unavailableError{backend: b.name, err: err}
+			return nil, err
 		}
-		sp.Set("status", int64(res.status))
-		if res.status != http.StatusTooManyRequests && res.status != http.StatusServiceUnavailable {
+		if !retryable(res.status) {
 			return res, nil
 		}
 		last = res
 		if attempt == g.cfg.MaxRetries {
+			break
+		}
+		// The retry targets the NEXT candidate: charge its bucket (plus the
+		// global one) before committing to another attempt.
+		if !g.trySpendRetry(elig[(attempt+1)%len(elig)]) {
+			g.metrics.RetryBudgetExhausted.Add(1)
+			last.budgetExhausted = true
 			break
 		}
 		g.metrics.Retries.Add(1)
@@ -281,7 +374,14 @@ func (fg *flightGroup) do(ctx context.Context, key [sha256.Size]byte, fn func(co
 	f := &flight{done: make(chan struct{})}
 	fg.m[key] = f
 	fg.mu.Unlock()
-	ectx, cancel := context.WithTimeout(context.WithoutCancel(ctx), fg.timeout)
+	// WithoutCancel keeps context VALUES, so the deadline budget survives
+	// the detachment: a leader working under a short client budget is
+	// bounded by that budget, not the full upstream timeout.
+	timeout := fg.timeout
+	if rem, ok := remainingBudget(ctx); ok && rem < timeout {
+		timeout = rem
+	}
+	ectx, cancel := context.WithTimeout(context.WithoutCancel(ctx), timeout)
 	f.res, f.err = fn(ectx)
 	cancel()
 	fg.mu.Lock()
@@ -336,18 +436,32 @@ func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return
 	}
-	// The gateway needs only the source (for the routing digest); the
-	// replica owns full validation. A body that is not JSON at all cannot
-	// be routed and is rejected here.
+	// The gateway needs only the source (for the routing digest) and the
+	// timeout (for the deadline budget); the replica owns full validation.
+	// A body that is not JSON at all cannot be routed and is rejected here.
 	var req struct {
-		Source string `json:"source"`
+		Source    string `json:"source"`
+		TimeoutMs int64  `json:"timeoutMs"`
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
 		g.writeError(w, http.StatusBadRequest, service.CodeInvalidRequest,
 			"invalid request body: %v", err)
 		return
 	}
-	res, err, shared := g.flights.do(r.Context(), sha256.Sum256(body), func(ctx context.Context) (*upstream, error) {
+	rctx := r.Context()
+	if req.TimeoutMs >= 0 {
+		// Derive the end-to-end deadline budget from the client's timeoutMs
+		// (or the gateway default) and enforce it on the whole proxy
+		// journey: retries, backoff sleeps, and the upstream calls all draw
+		// down one budget. A negative timeoutMs is left for the replica to
+		// reject, so the error body comes from one place.
+		d := g.cfg.budgetFor(req.TimeoutMs)
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(rctx, d)
+		defer cancel()
+		rctx = withBudget(rctx, time.Now().Add(d))
+	}
+	res, err, shared := g.flights.do(rctx, sha256.Sum256(body), func(ctx context.Context) (*upstream, error) {
 		return g.forward(ctx, DigestOf(req.Source), "/v1/analyze", body, requestID(r.Context()))
 	})
 	th := obs.TraceFromContext(r.Context())

@@ -1,0 +1,117 @@
+package cluster
+
+import "sync"
+
+// retryBudget is a token bucket that caps the retry (and hedge) ratio:
+// every upstream success earns a fractional token, every retry spends a
+// whole one, so sustained retries can never exceed ratio× the success
+// rate plus the burst the bucket started with. During a blip the burst
+// absorbs the retries and successes on the rerouted path keep the bucket
+// topped up; during a brownout nothing succeeds, the bucket drains, and
+// retries shut off instead of amplifying the overload.
+//
+// A nil *retryBudget is the "budgeting disabled" object: spends always
+// succeed and the bucket is never low.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	limit  float64 // bucket capacity, also the initial fill (the burst)
+	ratio  float64 // tokens earned per success
+}
+
+// newRetryBudget builds a bucket holding burst tokens that earns ratio
+// per success.
+func newRetryBudget(burst int, ratio float64) *retryBudget {
+	return &retryBudget{tokens: float64(burst), limit: float64(burst), ratio: ratio}
+}
+
+// Earn credits one success.
+func (rb *retryBudget) Earn() {
+	if rb == nil {
+		return
+	}
+	rb.mu.Lock()
+	rb.tokens += rb.ratio
+	if rb.tokens > rb.limit {
+		rb.tokens = rb.limit
+	}
+	rb.mu.Unlock()
+}
+
+// TrySpend takes one whole token for a retry, reporting whether the
+// budget covered it. A bucket below one token refuses: partial tokens
+// never fund a retry.
+func (rb *retryBudget) TrySpend() bool {
+	if rb == nil {
+		return true
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}
+
+// Refund returns a spent token (used when a paired spend on another
+// bucket failed, so the retry never happened).
+func (rb *retryBudget) Refund() {
+	if rb == nil {
+		return
+	}
+	rb.mu.Lock()
+	rb.tokens++
+	if rb.tokens > rb.limit {
+		rb.tokens = rb.limit
+	}
+	rb.mu.Unlock()
+}
+
+// Low reports whether the bucket has drained below half capacity — the
+// gate that disables speculative (hedged) requests while genuine retries
+// still have room.
+func (rb *retryBudget) Low() bool {
+	if rb == nil {
+		return false
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.tokens < rb.limit/2
+}
+
+// Tokens reports the current balance, for /metrics.
+func (rb *retryBudget) Tokens() float64 {
+	if rb == nil {
+		return 0
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.tokens
+}
+
+// trySpendRetry takes one token from the global bucket and one from the
+// target backend's; both must cover it or neither is charged.
+func (g *Gateway) trySpendRetry(b *backend) bool {
+	if g.retryBudget == nil {
+		return true
+	}
+	if !g.retryBudget.TrySpend() {
+		return false
+	}
+	if !b.retry.TrySpend() {
+		g.retryBudget.Refund()
+		return false
+	}
+	return true
+}
+
+// trySpendRetryGlobal charges the global bucket only — the batch
+// re-scatter path, where the retried items fan back out across the ring
+// and no single backend is the target.
+func (g *Gateway) trySpendRetryGlobal() bool {
+	if g.retryBudget == nil {
+		return true
+	}
+	return g.retryBudget.TrySpend()
+}

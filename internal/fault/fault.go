@@ -11,6 +11,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -123,14 +124,61 @@ func Hits(name string) uint64 {
 // return nil immediately; armed points panic, sleep, or return an error
 // according to their Mode (subject to Every-N sampling).
 func Inject(name string) error {
-	if !enabled.Load() {
+	return inject(nil, name)
+}
+
+// InjectCtx is Inject for call sites that hold a context: a KindDelay
+// sleep is cut short when ctx is cancelled, so an injected network stall
+// cannot outlive the request that hit it. Other kinds behave exactly like
+// Inject.
+func InjectCtx(ctx context.Context, name string) error {
+	return inject(ctx.Done(), name)
+}
+
+func inject(done <-chan struct{}, name string) error {
+	mode, fire := Fires(name)
+	if !fire {
 		return nil
+	}
+	switch mode.Kind {
+	case KindPanic:
+		panic(Injected{Point: name})
+	case KindDelay:
+		if done == nil {
+			time.Sleep(mode.Delay)
+			return nil
+		}
+		t := time.NewTimer(mode.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-done:
+			return errors.New("injected delay at " + name + " aborted by context")
+		}
+	case KindError:
+		if mode.Err != nil {
+			return mode.Err
+		}
+		return errors.New("injected fault at " + name)
+	}
+	return nil
+}
+
+// Fires reports whether the named point is armed and fires on this hit
+// (advancing the hit counter), without performing the point's action.
+// Call sites whose failure behavior is not expressible as a Mode kind —
+// like the net transport's connection reset or black hole — use Fires to
+// sample and then act themselves, with the armed Mode for parameters.
+func Fires(name string) (Mode, bool) {
+	if !enabled.Load() {
+		return Mode{}, false
 	}
 	mu.Lock()
 	p := points[name]
 	mu.Unlock()
 	if p == nil {
-		return nil
+		return Mode{}, false
 	}
 	n := p.hits.Add(1)
 	every := p.mode.Every
@@ -138,21 +186,9 @@ func Inject(name string) error {
 		every = 1
 	}
 	if n%uint64(every) != 0 {
-		return nil
+		return Mode{}, false
 	}
-	switch p.mode.Kind {
-	case KindPanic:
-		panic(Injected{Point: name})
-	case KindDelay:
-		time.Sleep(p.mode.Delay)
-		return nil
-	case KindError:
-		if p.mode.Err != nil {
-			return p.mode.Err
-		}
-		return errors.New("injected fault at " + name)
-	}
-	return nil
+	return p.mode, true
 }
 
 // InitFromEnv arms failure points from the SIWA_FAULTS environment

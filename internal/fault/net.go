@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Network-layer failure points. A Transport with prefix P consults, in
+// order, the generic point and a host-qualified variant for each class:
+//
+//	P.latency[@HOST]    KindDelay: stall before the request leaves
+//	P.reset[@HOST]      any kind: fail the round trip like a peer reset
+//	P.blackhole[@HOST]  any kind: swallow the request until ctx cancels
+//	P.truncate[@HOST]   any kind: cut the response body short mid-read
+//
+// HOST is the target's URL host with every ":" replaced by "-" (the
+// SIWA_FAULTS spec splits entries on ":"), e.g.
+//
+//	SIWA_FAULTS="gateway.net.latency@127.0.0.1-8081:delay=800ms"
+//
+// browns out only the replica on port 8081. Generic points hit every
+// backend.
+const (
+	netLatency   = ".latency"
+	netReset     = ".reset"
+	netBlackhole = ".blackhole"
+	netTruncate  = ".truncate"
+)
+
+// HostKey renders a URL host ("127.0.0.1:8081") as the ":"-free form used
+// in host-qualified net point names.
+func HostKey(host string) string { return strings.ReplaceAll(host, ":", "-") }
+
+// Transport is an http.RoundTripper wrapper that injects network-level
+// failures — added latency, connection resets, black holes, truncated
+// response bodies — at named points, so chaos drills can break the wire
+// between two processes without real packet loss. When no fault is armed
+// the wrapper costs one atomic load per request.
+type Transport struct {
+	base   http.RoundTripper
+	prefix string
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) with the
+// injection points "<prefix>.latency", ".reset", ".blackhole", and
+// ".truncate", each also checked in a host-qualified "@HOST" variant.
+func NewTransport(base http.RoundTripper, prefix string) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, prefix: prefix}
+}
+
+// RoundTrip applies any armed network faults around the base round trip.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !enabled.Load() {
+		return t.base.RoundTrip(req)
+	}
+	ctx := req.Context()
+	host := HostKey(req.URL.Host)
+	for _, name := range t.variants(netLatency, host) {
+		if err := InjectCtx(ctx, name); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range t.variants(netReset, host) {
+		if _, fire := Fires(name); fire {
+			return nil, errors.New("injected fault: connection reset by " + req.URL.Host)
+		}
+	}
+	for _, name := range t.variants(netBlackhole, host) {
+		if _, fire := Fires(name); fire {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	for _, name := range t.variants(netTruncate, host) {
+		if _, fire := Fires(name); fire {
+			keep := resp.ContentLength / 2
+			if keep < 1 {
+				keep = 1
+			}
+			resp.Body = &truncatedBody{body: resp.Body, remaining: keep}
+			break
+		}
+	}
+	return resp, nil
+}
+
+// variants lists the generic and host-qualified names for one point class.
+func (t *Transport) variants(class, host string) [2]string {
+	p := t.prefix + class
+	return [2]string{p, p + "@" + host}
+}
+
+// truncatedBody delivers at most remaining bytes of the real body and then
+// fails the read the way a mid-stream connection drop does, so the client
+// sees a short body with an unexpected-EOF error rather than a clean end.
+type truncatedBody struct {
+	body      io.ReadCloser
+	remaining int64
+}
+
+func (tb *truncatedBody) Read(p []byte) (int, error) {
+	if tb.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > tb.remaining {
+		p = p[:tb.remaining]
+	}
+	n, err := tb.body.Read(p)
+	tb.remaining -= int64(n)
+	if err == io.EOF && tb.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (tb *truncatedBody) Close() error { return tb.body.Close() }

@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func netClient(prefix string) *http.Client {
+	return &http.Client{Transport: NewTransport(nil, prefix)}
+}
+
+func TestTransportDisabledPassthrough(t *testing.T) {
+	Reset()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	resp, err := netClient("net").Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(data) != "ok" {
+		t.Fatalf("status=%d body=%q", resp.StatusCode, data)
+	}
+}
+
+// TestTransportLatencyAbortsWithContext pins the ctx-aware stall: an
+// injected delay far longer than the request's deadline must not hold
+// the request hostage — the round trip fails as soon as the context does.
+func TestTransportLatencyAbortsWithContext(t *testing.T) {
+	defer Reset()
+	var served atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+	}))
+	defer ts.Close()
+	Set("net.latency", Mode{Kind: KindDelay, Delay: 30 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := netClient("net").Do(req)
+	if err == nil {
+		t.Fatal("stalled request must fail once its context expires")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("injected stall held the request %v past its 50ms context", elapsed)
+	}
+	if served.Load() != 0 {
+		t.Fatal("stalled request reached the server anyway")
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	defer Reset()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	Set("net.reset", Mode{Kind: KindError})
+	_, err := netClient("net").Get(ts.URL)
+	if err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("err=%v, want an injected connection reset", err)
+	}
+}
+
+// TestTransportResetHostQualified pins the single-replica targeting: a
+// point armed for one host's wire leaves every other backend untouched.
+func TestTransportResetHostQualified(t *testing.T) {
+	defer Reset()
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer b.Close()
+	hostA := strings.TrimPrefix(a.URL, "http://")
+	Set("net.reset@"+HostKey(hostA), Mode{Kind: KindError})
+	c := netClient("net")
+	if _, err := c.Get(a.URL); err == nil {
+		t.Fatal("targeted host survived its reset fault")
+	}
+	resp, err := c.Get(b.URL)
+	if err != nil {
+		t.Fatalf("untargeted host failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestTransportResetSampled pins Every-N sampling through the transport:
+// with every=2 the first request passes and the second resets.
+func TestTransportResetSampled(t *testing.T) {
+	defer Reset()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	Set("net.reset", Mode{Kind: KindError, Every: 2})
+	c := netClient("net")
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("first request (hit 1 of every=2) failed: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := c.Get(ts.URL); err == nil {
+		t.Fatal("second request (hit 2 of every=2) survived")
+	}
+}
+
+// TestTransportTruncate pins the cut body: the response round trip
+// succeeds, but reading it fails partway with an unexpected EOF, the
+// way a mid-stream connection drop looks to a client.
+func TestTransportTruncate(t *testing.T) {
+	defer Reset()
+	payload := strings.Repeat("x", 1000)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+	Set("net.truncate", Mode{Kind: KindError})
+	resp, err := netClient("net").Get(ts.URL)
+	if err != nil {
+		t.Fatalf("truncation must not fail the round trip itself: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err=%v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(data) == 0 || len(data) >= len(payload) {
+		t.Fatalf("read %d of %d bytes; want a strict mid-body cut", len(data), len(payload))
+	}
+}
+
+func TestTransportBlackhole(t *testing.T) {
+	defer Reset()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	Set("net.blackhole", Mode{Kind: KindError})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := netClient("net").Do(req)
+	if err == nil {
+		t.Fatal("black-holed request must fail via its context")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("black hole held the request %v past its 50ms context", elapsed)
+	}
+}

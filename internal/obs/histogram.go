@@ -84,6 +84,49 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile (in seconds) from the snapshot's
+// cumulative bucket counts: find the bucket the target rank falls in and
+// interpolate linearly across it. Samples beyond the last finite bound
+// clamp to that bound — the honest answer a bounded histogram can give.
+// 0 when the snapshot is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if len(s.Cumulative) == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	total := s.Cumulative[len(s.Cumulative)-1]
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	for i, c := range s.Cumulative {
+		if float64(c) < target {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1] // +Inf bucket: clamp
+		}
+		lo := 0.0
+		var below uint64
+		if i > 0 {
+			lo = s.Bounds[i-1]
+			below = s.Cumulative[i-1]
+		}
+		inBucket := c - below
+		if inBucket == 0 {
+			return s.Bounds[i]
+		}
+		frac := (target - float64(below)) / float64(inBucket)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + frac*(s.Bounds[i]-lo)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // formatLe renders a bucket bound the way Prometheus clients do.
 func formatLe(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
 

@@ -8,7 +8,9 @@ package service
 import (
 	"fmt"
 	"log/slog"
+	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	siwa "repro"
@@ -51,6 +53,13 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps client-requested deadlines. 0 means 5m.
 	MaxTimeout time.Duration
+	// DeadlineFloor is the smallest propagated deadline budget
+	// (X-Deadline-Ms header, stamped by the cluster gateway) worth
+	// admitting: a request arriving with less is shed outright with a
+	// timeout error and counted in siwa_deadline_shed_total, because its
+	// caller's deadline will pass before any useful work completes.
+	// 0 means 5ms.
+	DeadlineFloor time.Duration
 	// ShutdownGrace bounds how long Run waits for in-flight requests to
 	// drain after its context is cancelled. 0 means 10s.
 	ShutdownGrace time.Duration
@@ -121,6 +130,9 @@ func (c Config) Normalize() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
 	}
+	if c.DeadlineFloor <= 0 {
+		c.DeadlineFloor = 5 * time.Millisecond
+	}
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
 	}
@@ -150,4 +162,35 @@ func (c Config) timeoutFor(timeoutMs int64) (time.Duration, error) {
 		d = c.MaxTimeout
 	}
 	return d, nil
+}
+
+// DeadlineHeader carries the caller's remaining deadline budget in
+// milliseconds on requests proxied through the cluster gateway. It is a
+// duration, not a wall-clock timestamp, so clock skew between gateway and
+// replica cannot corrupt it (the gRPC-style convention).
+const DeadlineHeader = "X-Deadline-Ms"
+
+// deadlineBudget folds the propagated X-Deadline-Ms budget into the
+// request's resolved timeout d: the effective deadline is the smaller of
+// the two, and a budget below DeadlineFloor is not worth admitting at all
+// (shed = true) — the caller will be gone before any work completes, so
+// starting it is the distributed analogue of the infinite-wait anomalies
+// this system detects. A missing or malformed header leaves d unchanged.
+func (c Config) deadlineBudget(r *http.Request, d time.Duration) (time.Duration, bool) {
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return d, false
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms < 0 {
+		return d, false
+	}
+	budget := time.Duration(ms) * time.Millisecond
+	if budget < c.DeadlineFloor {
+		return 0, true
+	}
+	if budget < d {
+		d = budget
+	}
+	return d, false
 }

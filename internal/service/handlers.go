@@ -345,6 +345,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.logRequest(r, id, "analyze", http.StatusBadRequest, start, slog.String("error", err.Error()))
 		return
 	}
+	d, shed := s.cfg.deadlineBudget(r, d)
+	if shed {
+		s.shedDeadline(w, r, id, "analyze", start)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	out, err := s.analyzeOne(ctx, req.Source, opt, req.Trace)
@@ -417,6 +422,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
 		s.logRequest(r, id, "batch", http.StatusBadRequest, start, slog.String("error", err.Error()))
+		return
+	}
+	d, shed := s.cfg.deadlineBudget(r, d)
+	if shed {
+		s.shedDeadline(w, r, id, "batch", start)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
@@ -562,6 +572,25 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// shedDeadline rejects a request whose propagated deadline budget
+// (X-Deadline-Ms) is below the admission floor: the caller's deadline
+// will pass before any useful work could complete, so the honest answer
+// is an immediate timeout — before any analysis starts — rather than
+// computing a result nobody is waiting for. Counted separately from real
+// timeouts (siwa_deadline_shed_total) so dashboards can tell "we were
+// slow" from "we refused work that was already dead on arrival".
+func (s *Server) shedDeadline(w http.ResponseWriter, r *http.Request, id, endpoint string, start time.Time) {
+	s.metrics.DeadlineShed.Add(1)
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: ErrorBody{
+		Code:    CodeTimeout,
+		Message: fmt.Sprintf("deadline budget %sms below admission floor %v", r.Header.Get(DeadlineHeader), s.cfg.DeadlineFloor),
+		TraceID: w.Header().Get("X-Trace-Id"),
+	}})
+	s.logRequest(r, id, endpoint, http.StatusServiceUnavailable, start,
+		slog.String("code", CodeTimeout),
+		slog.String("error", "deadline budget below floor"))
 }
 
 // retryAfterSeconds derives the Retry-After hint for shed and timeout

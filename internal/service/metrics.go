@@ -38,6 +38,7 @@ type Metrics struct {
 	Timeouts        atomic.Uint64 // analyses aborted by deadline or disconnect
 	Errors          atomic.Uint64 // requests rejected (parse, validation, body size)
 	Shed            atomic.Uint64 // analyses rejected because the admission queue was full
+	DeadlineShed    atomic.Uint64 // requests refused because the propagated deadline budget was below the floor
 	Panics          atomic.Uint64 // panics recovered (pipeline stages, handlers, batch items)
 	Degraded        atomic.Uint64 // analyses that fell back to the polynomial verdict
 	InFlight        atomic.Int64  // requests currently being served
@@ -121,6 +122,7 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, exporter *obs.E
 	counter("siwa_timeouts_total", "analyses aborted by deadline or client disconnect", m.Timeouts.Load())
 	counter("siwa_request_errors_total", "requests rejected before analysis", m.Errors.Load())
 	counter("siwa_shed_total", "analyses rejected because the admission queue was full", m.Shed.Load())
+	counter("siwa_deadline_shed_total", "requests refused because the propagated deadline budget was below the floor", m.DeadlineShed.Load())
 	counter("siwa_panics_total", "panics recovered in pipeline stages, handlers, or batch items", m.Panics.Load())
 	counter("siwa_degraded_total", "analyses that fell back to the polynomial verdict", m.Degraded.Load())
 	fmt.Fprintf(w, "# HELP siwa_batch_items_total per-program outcomes inside batch requests\n# TYPE siwa_batch_items_total counter\n")
