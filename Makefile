@@ -7,7 +7,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -X repro/internal/obs.Version=$(VERSION)
 
-.PHONY: all build test race vet fmt bench bench-json fuzz experiments examples server gateway smoke clean
+.PHONY: all build test race vet fmt bench bench-json bench-baseline bench-diff pgo build-pgo fuzz experiments examples server gateway smoke clean
 
 all: build vet test
 
@@ -52,6 +52,28 @@ bench:
 BENCHTIME ?= 1s
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... > BENCH_$$(date +%Y%m%d).json
+
+# Committed baseline for bench-diff: the pinned hot-path benchmarks only,
+# at a benchtime long enough for stable ns/op.
+bench-baseline:
+	$(GO) test -run='^$$' -bench='^(BenchmarkEndToEndAnalyze|BenchmarkParse$$|BenchmarkSyncGraphBuild|BenchmarkStageCacheWarmSecondAlgorithm)' -benchtime=200x -count=5 -json . > BENCH_baseline.json
+	$(GO) test -run='^$$' -bench='^(BenchmarkServiceCacheHit$$|BenchmarkWriteJSON)' -benchtime=5000x -count=5 -json ./internal/service >> BENCH_baseline.json
+
+# Fail if any pinned hot-path benchmark regressed >15% vs the baseline.
+bench-diff:
+	bash scripts/bench_diff.sh
+
+# Profile-guided optimization: profile the hot-path benchmarks and merge
+# the CPU profiles into default.pgo, consumed by `go build -pgo=default.pgo`.
+pgo:
+	$(GO) test -run='^$$' -bench='^(BenchmarkEndToEndAnalyze|BenchmarkParse$$|BenchmarkSyncGraphBuild|BenchmarkStageCacheWarmSecondAlgorithm)' -benchtime=50x -cpuprofile=cpu.root.prof .
+	$(GO) test -run='^$$' -bench='^(BenchmarkServiceCacheHit$$|BenchmarkWriteJSON)' -benchtime=200x -cpuprofile=cpu.service.prof ./internal/service
+	$(GO) tool pprof -proto cpu.root.prof cpu.service.prof > default.pgo
+	rm -f cpu.root.prof cpu.service.prof repro.test service.test
+
+# Verify the committed PGO profile still drives a clean build.
+build-pgo:
+	$(GO) build -pgo=default.pgo -ldflags "$(LDFLAGS)" ./...
 
 # Short fuzzing pass over the parser, inliner, and whole pipeline.
 fuzz:

@@ -119,6 +119,10 @@ func (m Matrix) Set(r, c int) {
 	m.words[r*m.wpr+c>>6] |= 1 << uint(c&63)
 }
 
+// SizeBytes reports the matrix's backing-store footprint, for
+// byte-budgeted caches holding derived relations.
+func (m Matrix) SizeBytes() int64 { return int64(len(m.words)) * 8 }
+
 // Equal reports whether the two matrices have identical dimension and
 // contents.
 func (m Matrix) Equal(o Matrix) bool {

@@ -125,6 +125,13 @@ func (c *CLG) IsSyncEdge(u, v int) bool { return c.syncEdges[key(u, v)] }
 // N returns the CLG node count.
 func (c *CLG) N() int { return c.G.N() }
 
+// SizeBytes approximates the CLG's resident footprint (node maps,
+// adjacency, sync-edge set), for byte-budgeted caches.
+func (c *CLG) SizeBytes() int64 {
+	n, m := int64(c.G.N()), int64(c.G.M())
+	return n*(3*8+1) + m*8 + int64(len(c.syncEdges))*24
+}
+
 // M returns the CLG edge count.
 func (c *CLG) M() int { return c.G.M() }
 

@@ -125,7 +125,38 @@ type Analyzer struct {
 	ncxSets [][]int
 	tails   [][]int
 
-	probes sync.Pool
+	// probes is behind a pointer so Session views share one scratch pool
+	// with the analyzer they alias (copying a sync.Pool is illegal).
+	probes *sync.Pool
+}
+
+// Session returns a lightweight view of the analyzer binding per-run
+// knobs without mutating the shared value: the view aliases every
+// immutable table (and the probe pool) but carries its own Parallelism
+// and Trace. Stage caches that share one Analyzer per program digest
+// across concurrently running algorithms must run detectors through
+// sessions — writing the knobs on the shared Analyzer would race.
+func (a *Analyzer) Session(parallelism int, trace *obs.Span) *Analyzer {
+	s := *a
+	s.Parallelism = parallelism
+	s.Trace = trace
+	return &s
+}
+
+// SizeBytes approximates the analyzer's resident footprint — the derived
+// CLG, ordering matrices, and memoized hypothesis tables — for
+// byte-budgeted caches that retain one Analyzer per program digest. The
+// sync graph itself is excluded: front-end cache entries account for it.
+func (a *Analyzer) SizeBytes() int64 {
+	sz := a.CLG.SizeBytes() + a.Ord.SizeBytes()
+	sz += int64(len(a.heads)) * 8
+	for _, t := range [][][]int{a.seqSets, a.ncxSets, a.tails} {
+		sz += int64(len(t)) * 24 // slice headers
+		for _, row := range t {
+			sz += int64(len(row)) * 8
+		}
+	}
+	return sz
 }
 
 // NewAnalyzer builds the CLG and ordering facts for g. The sync graph must
@@ -141,7 +172,7 @@ func NewAnalyzer(g *sg.Graph) *Analyzer {
 // NewAnalyzerTraced is NewAnalyzer recording the derived structures' sizes
 // (CLG nodes/edges) into span (nil span records nothing).
 func NewAnalyzerTraced(g *sg.Graph, span *obs.Span) *Analyzer {
-	a := &Analyzer{SG: g, CLG: clg.BuildTraced(g, span), Ord: order.Compute(g)}
+	a := &Analyzer{SG: g, CLG: clg.BuildTraced(g, span), Ord: order.Compute(g), probes: new(sync.Pool)}
 	a.heads = a.computeHeads()
 	n := g.N()
 	a.seqSets = make([][]int, n)

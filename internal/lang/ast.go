@@ -282,6 +282,36 @@ func countRendezvous(ss []Stmt) int {
 	return n
 }
 
+// CountStatements returns the total number of statements, counting
+// nested conditional and loop bodies.
+func (p *Program) CountStatements() int {
+	n := 0
+	for _, t := range p.Tasks {
+		n += countStatements(t.Body)
+	}
+	return n
+}
+
+func countStatements(ss []Stmt) int {
+	n := len(ss)
+	for _, s := range ss {
+		switch v := s.(type) {
+		case *If:
+			n += countStatements(v.Then) + countStatements(v.Else)
+		case *Loop:
+			n += countStatements(v.Body)
+		}
+	}
+	return n
+}
+
+// SizeEstimate approximates the program's resident footprint in bytes
+// (AST nodes plus per-task overhead), for byte-budgeted caches. It only
+// needs to be proportional to the real footprint, not exact.
+func (p *Program) SizeEstimate() int64 {
+	return int64(p.CountStatements())*96 + int64(len(p.Tasks)+len(p.Procs))*128
+}
+
 // Signal identifies a rendezvous channel: the receiving task and message.
 type Signal struct {
 	Task string // receiving task

@@ -203,6 +203,18 @@ func Compute(g *sg.Graph) *Info {
 	return info
 }
 
+// SizeBytes approximates the Info's resident footprint: the three bit
+// matrices dominate, plus the CoAccept adjacency. Used by byte-budgeted
+// caches that retain ordering facts across requests.
+func (i *Info) SizeBytes() int64 {
+	sz := i.Precede.SizeBytes() + i.NoCohead.SizeBytes() + i.NotCoexec.SizeBytes()
+	sz += int64(len(i.CoAccept)) * 24 // slice headers
+	for _, row := range i.CoAccept {
+		sz += int64(len(row)) * 8
+	}
+	return sz
+}
+
 // Sequenceable reports whether r and s are ordered (strongly, in either
 // direction) or cannot co-head a deadlocked wave — exactly the pairs the
 // detector may not hypothesize as joint heads.

@@ -60,6 +60,20 @@ func canonicalize(opt siwa.Options) siwa.Options {
 		MaxAnomalies:       opt.ExactOptions.MaxAnomalies,
 		LoopExpansionLimit: opt.ExactOptions.LoopExpansionLimit,
 	}
+	// Execution knobs are folded out of the content address structurally,
+	// not just by the key printer skipping them: Parallelism never changes
+	// verdicts (sweep merges are deterministic), tracing never changes the
+	// report, Limits and Degrade only turn requests into errors or degraded
+	// runs (neither is ever cached), and the stage cache changes where
+	// artifacts come from, not what they are. Zeroing them here guarantees
+	// that a future field added to the key format cannot silently split
+	// entries by execution policy.
+	opt.Parallelism = 0
+	opt.Trace = false
+	opt.Tracer = nil
+	opt.Limits = siwa.Limits{}
+	opt.Degrade = false
+	opt.StageCache = nil
 	return opt
 }
 

@@ -47,6 +47,28 @@ func TestKeyCanonicalization(t *testing.T) {
 	}
 }
 
+// TestKeyIgnoresExecutionKnobs pins the canonicalization contract: options
+// that change how an analysis runs — but never what it reports — must not
+// fragment the result cache. A replica restarted with a different
+// -parallelism, or a request that merely opted into tracing, still shares
+// entries with everyone else analyzing the same source.
+func TestKeyIgnoresExecutionKnobs(t *testing.T) {
+	src := "task t is begin null; end;"
+	base := Key(src, siwa.Options{AllAlgorithms: true})
+	for name, opt := range map[string]siwa.Options{
+		"parallelism": {AllAlgorithms: true, Parallelism: 8},
+		"serial":      {AllAlgorithms: true, Parallelism: 1},
+		"trace":       {AllAlgorithms: true, Trace: true},
+		"limits":      {AllAlgorithms: true, Limits: siwa.Limits{MaxTasks: 7}},
+		"degrade":     {AllAlgorithms: true, Degrade: true},
+		"stageCache":  {AllAlgorithms: true, StageCache: siwa.NewStageCache(1 << 20)},
+	} {
+		if k := Key(src, opt); k != base {
+			t.Errorf("execution knob %q leaked into the cache key", name)
+		}
+	}
+}
+
 func TestCacheLRU(t *testing.T) {
 	c := NewCache(2)
 	k1, k2, k3 := Key("a", siwa.Options{}), Key("b", siwa.Options{}), Key("c", siwa.Options{})

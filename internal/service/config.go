@@ -44,6 +44,15 @@ type Config struct {
 	// CacheEntries caps the result cache. 0 means 1024; negative disables
 	// caching entirely (every request is analyzed from scratch).
 	CacheEntries int
+	// StageCacheMB caps the stage cache in MiB: a replica-level,
+	// content-addressed cache of pipeline artifacts (parsed+unrolled
+	// programs, sync graph with CLG and ordering tables, per-algorithm
+	// verdicts, stall balances) keyed on the source digest and shared by
+	// all requests. Unlike the result cache — which only hits on an exact
+	// (source, options) repeat — the stage cache makes a warm source
+	// asked for a *different* algorithm run only that detector sweep.
+	// 0 means 64 MiB; negative disables the stage cache.
+	StageCacheMB int
 	// MaxBodyBytes caps the request body; larger requests get HTTP 413.
 	// 0 means 4 MiB.
 	MaxBodyBytes int64
@@ -117,6 +126,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 1024
+	}
+	if c.StageCacheMB == 0 {
+		c.StageCacheMB = 64
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20

@@ -56,12 +56,12 @@ func TestDeadlineBudgetResolution(t *testing.T) {
 		shed   bool
 	}{
 		{"", time.Second, false},
-		{"250", 250 * time.Millisecond, false},      // budget below timeout wins
-		{"2000", time.Second, false},                // budget above timeout: timeout stands
-		{"2", 0, true},                              // below the 5ms floor: dead on arrival
-		{"0", 0, true},                              // no budget at all
-		{"-40", time.Second, false},                 // negative: malformed, ignored
-		{"soon", time.Second, false},                // non-numeric: ignored
+		{"250", 250 * time.Millisecond, false}, // budget below timeout wins
+		{"2000", time.Second, false},           // budget above timeout: timeout stands
+		{"2", 0, true},                         // below the 5ms floor: dead on arrival
+		{"0", 0, true},                         // no budget at all
+		{"-40", time.Second, false},            // negative: malformed, ignored
+		{"soon", time.Second, false},           // non-numeric: ignored
 	}
 	for _, tc := range cases {
 		d, shed := cfg.deadlineBudget(mk(tc.header), time.Second)

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -124,12 +125,39 @@ type BatchResponse struct {
 	ElapsedMs float64       `json:"elapsedMs"`
 }
 
+// jsonBufPool recycles response-encoding buffers across requests: the
+// response is staged in a pooled buffer, so each writeJSON costs the
+// encoder's allocations but no per-request buffer growth, and the exact
+// body size is known before the status line goes out.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBufBytes caps what a returned buffer may retain: one giant
+// batch response must not pin megabytes inside the pool forever.
+const maxPooledBufBytes = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// Encoding failed before anything was written: the connection is
+		// still clean, so a plain 500 is deliverable.
+		jsonBufPool.Put(buf)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":{"code":%q,"message":"response encoding failed"}}`, CodeInternal)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// Content-Length from the staged buffer lets clients and proxies size
+	// the body up front and spares chunked transfer encoding.
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBufBytes {
+		jsonBufPool.Put(buf)
+	}
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
@@ -188,10 +216,13 @@ type analyzeOutcome struct {
 	trace    *siwa.JSONSpan
 }
 
-// analyzeOne serves one (source, options) pair: cache lookup, then a
-// pool-bounded siwa.AnalyzeContext run whose marshalled report is stored
-// back under the content address. When wantTrace (or Config.TraceAll) is
-// set and the analysis actually runs, the pipeline is traced: stage
+// analyzeOne serves one (source, options) pair: result-cache lookup,
+// then a pool-bounded siwa.AnalyzeSourceContext run whose marshalled
+// report is stored back under the content address. A result-cache miss
+// still consults the stage cache inside the pipeline — a warm source
+// asked for new options reuses every already-built artifact and runs
+// only the missing suffix. When wantTrace (or Config.TraceAll) is set
+// and the analysis actually runs, the pipeline is traced: stage
 // durations feed the siwa_analyze_stage_seconds histograms, and the span
 // tree is returned (to the requester only) outside the cached report.
 func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options, wantTrace bool) (analyzeOutcome, error) {
@@ -208,12 +239,14 @@ func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options
 		opt.Tracer = th.Tracer // implies Trace
 		opt.Trace = true
 	}
-	// Limits, Parallelism and Degrade are service policy, not part of the
-	// content address: limits only turn requests into errors (never
-	// cached), parallelism never changes verdicts, and degraded reports
-	// are timing-dependent (also never cached).
+	// Limits, Parallelism, Degrade and the stage cache are service policy,
+	// not part of the content address: limits only turn requests into
+	// errors (never cached), parallelism never changes verdicts, degraded
+	// reports are timing-dependent (also never cached), and the stage
+	// cache changes where artifacts come from, not what they are.
 	opt.Limits = s.cfg.Limits
 	opt.Parallelism = s.cfg.Parallelism
+	opt.StageCache = s.stageCache
 	var out analyzeOutcome
 	var runErr error
 	err := s.pool.Do(ctx, func() {
@@ -221,16 +254,10 @@ func (s *Server) analyzeOne(ctx context.Context, source string, opt siwa.Options
 			runErr = &codedError{http.StatusInternalServerError, CodeInternal, ferr}
 			return
 		}
-		prog, err := siwa.Parse(source)
-		if err != nil {
-			if isInternal(err) {
-				runErr = err
-			} else {
-				runErr = &codedError{http.StatusUnprocessableEntity, CodeParseError, err}
-			}
-			return
-		}
-		rep, err := siwa.AnalyzeContext(ctx, prog, opt)
+		// Parse errors surface untyped and classify() maps them to HTTP
+		// 422 parse_error; internal (contained-panic) and resource errors
+		// carry their own types through unchanged.
+		rep, err := siwa.AnalyzeSourceContext(ctx, source, opt)
 		if err != nil {
 			runErr = err
 			return
@@ -621,5 +648,5 @@ func (s *Server) setRetryAfter(w http.ResponseWriter) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache, s.pool, s.exporter)
+	s.metrics.WriteTo(w, s.cache, s.stageCache, s.pool, s.exporter)
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	siwa "repro"
 	"repro/internal/obs"
 )
 
@@ -106,8 +107,9 @@ func (m *Metrics) ObserveSpans(root *obs.Span) {
 // in Prometheus text format, plus the trace-exporter counters and Go
 // runtime telemetry. Families and label sets are emitted in a fixed order
 // so the exposition is reproducible.
-func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, exporter *obs.Exporter) {
+func (m *Metrics) WriteTo(w io.Writer, cache *Cache, stage *siwa.StageCache, pool *Pool, exporter *obs.Exporter) {
 	cs := cache.Stats()
+	ss := stage.Stats() // nil-safe: zeros when the stage cache is disabled
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -133,6 +135,12 @@ func (m *Metrics) WriteTo(w io.Writer, cache *Cache, pool *Pool, exporter *obs.E
 	counter("siwa_cache_misses_total", "result cache misses", cs.Misses)
 	counter("siwa_cache_evictions_total", "result cache LRU evictions", cs.Evictions)
 	gauge("siwa_cache_entries", "result cache current entries", int64(cs.Entries))
+	counter("siwa_stage_cache_hits_total", "stage cache hits (memoized pipeline artifacts)", ss.Hits)
+	counter("siwa_stage_cache_misses_total", "stage cache misses", ss.Misses)
+	counter("siwa_stage_cache_evictions_total", "stage cache byte-budget evictions", ss.Evictions)
+	counter("siwa_stage_cache_builds_total", "stage cache artifact builds (single-flighted: at most one per distinct key while resident)", ss.Builds)
+	gauge("siwa_stage_cache_bytes", "stage cache resident artifact bytes", ss.Bytes)
+	gauge("siwa_stage_cache_entries", "stage cache current entries", int64(ss.Entries))
 	gauge("siwa_inflight_requests", "requests currently being served", m.InFlight.Load())
 	gauge("siwa_workers", "worker pool concurrency bound", int64(pool.Size()))
 	gauge("siwa_workers_busy", "worker pool slots in use", int64(pool.InFlight()))

@@ -54,26 +54,32 @@ func TestMetricsExposition(t *testing.T) {
 	}
 
 	families := map[string]string{
-		"siwa_requests_total":        "counter",
-		"siwa_analyses_total":        "counter",
-		"siwa_anomalous_total":       "counter",
-		"siwa_timeouts_total":        "counter",
-		"siwa_request_errors_total":  "counter",
-		"siwa_shed_total":            "counter",
-		"siwa_panics_total":          "counter",
-		"siwa_degraded_total":        "counter",
-		"siwa_batch_items_total":     "counter",
-		"siwa_cache_hits_total":      "counter",
-		"siwa_cache_misses_total":    "counter",
-		"siwa_cache_evictions_total": "counter",
-		"siwa_cache_entries":         "gauge",
-		"siwa_inflight_requests":     "gauge",
-		"siwa_workers":               "gauge",
-		"siwa_workers_busy":          "gauge",
-		"siwa_queue_depth":           "gauge",
-		"siwa_queued":                "gauge",
-		"siwa_http_request_seconds":  "histogram",
-		"siwa_analyze_stage_seconds": "histogram",
+		"siwa_requests_total":              "counter",
+		"siwa_analyses_total":              "counter",
+		"siwa_anomalous_total":             "counter",
+		"siwa_timeouts_total":              "counter",
+		"siwa_request_errors_total":        "counter",
+		"siwa_shed_total":                  "counter",
+		"siwa_panics_total":                "counter",
+		"siwa_degraded_total":              "counter",
+		"siwa_batch_items_total":           "counter",
+		"siwa_cache_hits_total":            "counter",
+		"siwa_cache_misses_total":          "counter",
+		"siwa_cache_evictions_total":       "counter",
+		"siwa_cache_entries":               "gauge",
+		"siwa_stage_cache_hits_total":      "counter",
+		"siwa_stage_cache_misses_total":    "counter",
+		"siwa_stage_cache_evictions_total": "counter",
+		"siwa_stage_cache_builds_total":    "counter",
+		"siwa_stage_cache_bytes":           "gauge",
+		"siwa_stage_cache_entries":         "gauge",
+		"siwa_inflight_requests":           "gauge",
+		"siwa_workers":                     "gauge",
+		"siwa_workers_busy":                "gauge",
+		"siwa_queue_depth":                 "gauge",
+		"siwa_queued":                      "gauge",
+		"siwa_http_request_seconds":        "histogram",
+		"siwa_analyze_stage_seconds":       "histogram",
 		// Trace-exporter and Go-runtime telemetry families.
 		"siwa_traces_retained_total":     "counter",
 		"siwa_traces_dropped_total":      "counter",
@@ -104,6 +110,19 @@ func TestMetricsExposition(t *testing.T) {
 		t.Error("batch ok count not 1")
 	}
 
+	// The analyze and batch above were cold sources: every stage-cache
+	// request missed, built, and left resident bytes behind.
+	for _, name := range []string{
+		"siwa_stage_cache_misses_total",
+		"siwa_stage_cache_builds_total",
+		"siwa_stage_cache_bytes",
+		"siwa_stage_cache_entries",
+	} {
+		if v := metricValue(t, body, name); v <= 0 {
+			t.Errorf("%s = %d, want > 0", name, v)
+		}
+	}
+
 	// All four retention-reason series are pre-registered, even at zero,
 	// and the build-info gauge carries version and Go labels.
 	for _, reason := range []string{"error", "slow", "degraded", "sampled"} {
@@ -126,6 +145,22 @@ func TestMetricsExposition(t *testing.T) {
 	checkHistogram(t, body, "siwa_http_request_seconds", "endpoint", "analyze")
 	checkHistogram(t, body, "siwa_http_request_seconds", "endpoint", "batch")
 	checkHistogram(t, body, "siwa_analyze_stage_seconds", "stage", "total")
+}
+
+// metricValue extracts one unlabelled series value from the exposition.
+func metricValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("bad %s line %q: %v", name, line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found", name)
+	return 0
 }
 
 // checkHistogram parses one labelled histogram out of the exposition and

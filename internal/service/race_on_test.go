@@ -1,0 +1,7 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count pins are skipped under it (instrumentation allocates).
+const raceEnabled = true

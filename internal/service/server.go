@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	siwa "repro"
 	"repro/internal/fault"
 	"repro/internal/obs"
 )
@@ -20,14 +21,15 @@ import (
 // cache, worker pool, and metrics. Construct with New; serve with Run (or
 // mount Handler in a larger mux). All methods are safe for concurrent use.
 type Server struct {
-	cfg      Config
-	cache    *Cache // nil when caching is disabled
-	pool     *Pool
-	metrics  *Metrics
-	exporter *obs.Exporter
-	handler  http.Handler
-	reqID    atomic.Uint64
-	draining atomic.Bool // graceful shutdown has begun; terminal
+	cfg        Config
+	cache      *Cache           // nil when result caching is disabled
+	stageCache *siwa.StageCache // nil when stage caching is disabled
+	pool       *Pool
+	metrics    *Metrics
+	exporter   *obs.Exporter
+	handler    http.Handler
+	reqID      atomic.Uint64
+	draining   atomic.Bool // graceful shutdown has begun; terminal
 }
 
 // New builds a Server from cfg (normalized first).
@@ -40,6 +42,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = NewCache(cfg.CacheEntries)
+	}
+	if cfg.StageCacheMB > 0 {
+		s.stageCache = siwa.NewStageCache(int64(cfg.StageCacheMB) << 20)
 	}
 	sampleN, slow := cfg.TraceSample, cfg.SlowThreshold
 	if sampleN < 0 {
@@ -169,6 +174,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // CacheStats snapshots the result-cache counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// StageCacheStats snapshots the stage-cache counters (zero when the
+// stage cache is disabled).
+func (s *Server) StageCacheStats() siwa.StageCacheStats { return s.stageCache.Stats() }
 
 // Run listens on the configured address and serves until ctx is
 // cancelled, then shuts down gracefully: the listener closes, in-flight

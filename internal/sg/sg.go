@@ -203,6 +203,19 @@ func (g *Graph) NumSyncEdges() int {
 // NumControlEdges counts directed control edges.
 func (g *Graph) NumControlEdges() int { return g.Control.M() }
 
+// SizeBytes approximates the graph's resident footprint (nodes, labels,
+// control and sync adjacency), for byte-budgeted caches. Proportional,
+// not exact.
+func (g *Graph) SizeBytes() int64 {
+	sz := int64(len(g.Nodes)) * 128 // Node structs + pointers + label strings
+	sz += int64(g.Control.M()+g.NumSyncEdges()*2) * 8
+	sz += int64(len(g.TaskOf)+len(g.skipToExit)) * 8
+	for _, nodes := range g.taskNodes {
+		sz += int64(len(nodes)) * 8
+	}
+	return sz
+}
+
 // TaskNodes returns the rendezvous node ids of task index ti.
 func (g *Graph) TaskNodes(ti int) []int { return g.taskNodes[ti] }
 

@@ -107,8 +107,11 @@ func (r *Report) jsonVerdict(v Verdict) JSONVerdict {
 		Hypotheses:  v.Hypotheses,
 		SCCRuns:     v.SCCRuns,
 	}
-	for _, w := range v.Witnesses {
-		out.Witnesses = append(out.Witnesses, r.WitnessLabels(w))
+	if len(v.Witnesses) > 0 {
+		out.Witnesses = make([][]string, 0, len(v.Witnesses))
+		for _, w := range v.Witnesses {
+			out.Witnesses = append(out.Witnesses, r.WitnessLabels(w))
+		}
 	}
 	return out
 }
@@ -129,8 +132,11 @@ func (r *Report) JSONReport() JSONReport {
 		Degraded:        r.Degraded,
 		DegradedReasons: r.DegradedReasons,
 	}
-	for _, v := range r.Spectrum {
-		out.Spectrum = append(out.Spectrum, r.jsonVerdict(v))
+	if len(r.Spectrum) > 0 {
+		out.Spectrum = make([]JSONVerdict, 0, len(r.Spectrum))
+		for _, v := range r.Spectrum {
+			out.Spectrum = append(out.Spectrum, r.jsonVerdict(v))
+		}
 	}
 	if r.Constraint4Conclusive || r.Constraint4Free {
 		out.Constraint4 = &JSONConstraint4{
@@ -146,14 +152,17 @@ func (r *Report) JSONReport() JSONReport {
 			CyclesPlausible: r.Enumerated.CyclesPlausible,
 		}
 	}
-	for _, s := range r.Stall.Unbalanced() {
-		out.StallSignals = append(out.StallSignals, JSONSignal{
-			Task:        s.Sig.Task,
-			Msg:         s.Sig.Msg,
-			Constant:    s.Constant,
-			Delta:       s.Delta,
-			VaryingTask: s.VaryingTask,
-		})
+	if unbalanced := r.Stall.Unbalanced(); len(unbalanced) > 0 {
+		out.StallSignals = make([]JSONSignal, 0, len(unbalanced))
+		for _, s := range unbalanced {
+			out.StallSignals = append(out.StallSignals, JSONSignal{
+				Task:        s.Sig.Task,
+				Msg:         s.Sig.Msg,
+				Constant:    s.Constant,
+				Delta:       s.Delta,
+				VaryingTask: s.VaryingTask,
+			})
+		}
 	}
 	if r.Exact != nil {
 		out.Exact = &JSONExact{

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# bench_diff.sh — guard the hot paths against performance regressions.
+#
+# Runs the pinned hot-path benchmarks fresh, extracts ns/op, and compares
+# each against the committed baseline record (BENCH_baseline.json by
+# default, else the newest BENCH_*.json). Exits 1 if any pinned benchmark
+# regressed by more than THRESHOLD percent (default 15).
+#
+# Usage:
+#   scripts/bench_diff.sh [baseline.json]
+#   THRESHOLD=20 BENCHTIME=100x scripts/bench_diff.sh
+#
+# The baseline is a `go test -json` event stream (what `make bench-json`
+# and `make bench-baseline` emit). Benchmarks present fresh but absent
+# from the baseline are reported as new and do not fail the check; each
+# side uses its best (minimum) ns/op so scheduler noise biases toward
+# stability, and the threshold absorbs the rest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-}"
+if [ -z "$BASELINE" ]; then
+    if [ -f BENCH_baseline.json ]; then
+        BASELINE=BENCH_baseline.json
+    else
+        BASELINE="$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)"
+    fi
+fi
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+    echo "bench_diff: no baseline BENCH json found (run: make bench-baseline)" >&2
+    exit 2
+fi
+
+THRESHOLD="${THRESHOLD:-15}"
+BENCHTIME="${BENCHTIME:-200x}"
+
+# The pinned hot paths: end-to-end analysis, the parse and sync-graph
+# stages, the stage cache's warm/cold pair, the service result cache, and
+# the pooled JSON response writer.
+PIN_ROOT='^(BenchmarkEndToEndAnalyze|BenchmarkParse$|BenchmarkSyncGraphBuild|BenchmarkStageCacheWarmSecondAlgorithm)'
+PIN_SERVICE='^(BenchmarkServiceCacheHit$|BenchmarkWriteJSON)'
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+
+# Each benchmark runs -count times and the comparison takes the best run,
+# so a scheduler hiccup in one run cannot fake a regression.
+COUNT="${COUNT:-5}"
+
+echo "bench_diff: running pinned benchmarks (benchtime=$BENCHTIME, count=$COUNT)..." >&2
+go test -run '^$' -bench "$PIN_ROOT" -benchtime "$BENCHTIME" -count "$COUNT" -json . >> "$fresh"
+go test -run '^$' -bench "$PIN_SERVICE" -benchtime 5000x -count "$COUNT" -json ./internal/service >> "$fresh"
+
+# extract <name> <ns/op> pairs from a go test -json stream, keeping the
+# best (minimum) ns/op per benchmark. A single result line is often split
+# across several Output events (the name flushes before the numbers), so
+# the stream is reassembled into plain text before line-wise parsing.
+extract() {
+    grep -o '"Output":"[^"]*"' "$1" |
+        sed 's/^"Output":"//; s/"$//' |
+        awk 'BEGIN { ORS = "" } { gsub(/\\t/, "\t"); gsub(/\\n/, "\n"); print }' |
+        awk '
+        $1 ~ /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            for (i = 2; i <= NF; i++) {
+                if ($i == "ns/op") {
+                    v = $(i - 1) + 0
+                    if (!(name in best) || v < best[name]) best[name] = v
+                }
+            }
+        }
+        END { for (n in best) printf "%s %.2f\n", n, best[n] }'
+}
+
+extract "$BASELINE" | sort > "$fresh.base"
+extract "$fresh" | sort > "$fresh.new"
+trap 'rm -f "$fresh" "$fresh.base" "$fresh.new"' EXIT
+
+awk -v thr="$THRESHOLD" -v basefile="$BASELINE" '
+    NR == FNR { base[$1] = $2; next }
+    {
+        name = $1; new = $2
+        if (!(name in base)) {
+            printf "  NEW       %-55s %12.0f ns/op (no baseline)\n", name, new
+            next
+        }
+        old = base[name]
+        delta = (old > 0) ? (new - old) * 100 / old : 0
+        status = "ok"
+        if (delta > thr) { status = "REGRESSED"; failed++ }
+        printf "  %-9s %-55s %12.0f -> %.0f ns/op (%+.1f%%)\n", status, name, old, new, delta
+    }
+    END {
+        if (failed > 0) {
+            printf "bench_diff: %d benchmark(s) regressed more than %s%% vs %s\n", failed, thr, basefile
+            exit 1
+        }
+        print "bench_diff: no regressions beyond " thr "% vs " basefile
+    }' "$fresh.base" "$fresh.new"

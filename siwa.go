@@ -151,6 +151,15 @@ type Options struct {
 	// Verdicts are byte-identical at every setting — parallelism only
 	// changes wall-clock time — so this is purely a resource knob.
 	Parallelism int
+	// StageCache, when non-nil, memoizes expensive pipeline artifacts
+	// across AnalyzeSource/AnalyzeSourceContext calls, keyed on the
+	// SHA-256 digest of the program source: the parse+inline+unroll
+	// artifacts, the sync graph with its CLG and ordering tables, the
+	// per-algorithm verdicts, and the stall balance. A warm source asked
+	// for a new algorithm pays only that algorithm's detector sweep.
+	// Ignored by Analyze/AnalyzeContext, which take an already-parsed
+	// program and so have no content address to key on. See NewStageCache.
+	StageCache *StageCache
 	// Degrade turns deadline and budget exhaustion in the expensive
 	// optional stages (Enumerate, Exact) into graceful degradation: the
 	// report keeps the already-computed polynomial verdict and is marked
@@ -250,26 +259,7 @@ func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, erro
 		return nil, err
 	}
 	rep := &Report{Program: p, Unrolled: p, Trace: root}
-	// stage runs one pipeline step: deadline gate, trace span, fault
-	// injection point ("analyze.<name>"), and panic containment. A panic
-	// anywhere inside fn becomes a typed *InternalError carrying the stage
-	// name and stack — never a crash.
-	stage := func(name string, fn func(sp *Span) error) (err error) {
-		if cerr := ctx.Err(); cerr != nil {
-			return fmt.Errorf("analyze: cancelled before %s: %w", name, cerr)
-		}
-		sp := root.StartChild(name)
-		defer sp.End()
-		defer func() {
-			if r := recover(); r != nil {
-				err = &InternalError{Stage: name, Value: r, Stack: string(debug.Stack())}
-			}
-		}()
-		if ferr := fault.Inject("analyze." + name); ferr != nil {
-			return fmt.Errorf("analyze: stage %s: %w", name, ferr)
-		}
-		return fn(sp)
-	}
+	stage := stageRunner(ctx, root)
 	degrade := func(reason string) {
 		rep.Degraded = true
 		rep.DegradedReasons = append(rep.DegradedReasons, reason)
@@ -401,44 +391,81 @@ func AnalyzeContext(ctx context.Context, p *Program, opt Options) (*Report, erro
 		}
 	}
 	if opt.Exact {
-		if cerr := ctx.Err(); cerr != nil && opt.Degrade {
-			degrade("exact exploration skipped: " + cerr.Error())
-			return rep, nil
-		}
-		if err := stage("exact-waves", func(sp *Span) error {
-			// The exact path expands bounded loops precisely; predict that
-			// growth too, so "loop 64 times" nests are refused, not paid.
-			if max := opt.Limits.MaxUnrolledNodes; max > 0 {
-				if n := cfg.PredictExpandedRendezvous(inlined); n > int64(max) {
-					return &ResourceError{Resource: "expanded rendezvous nodes", Limit: max, Actual: clampInt(n)}
-				}
-			}
-			eg, err := waves.ExploreProgramGraph(p)
-			if err != nil {
-				return err
-			}
-			rep.ExactGraph = eg
-			eo := opt.ExactOptions
-			if eo.Cancel == nil && ctx.Done() != nil {
-				eo.Cancel = func() bool { return ctx.Err() != nil }
-			}
-			eo.Trace = sp
-			rep.Exact = waves.Explore(eg, eo)
-			return nil
-		}); err != nil {
+		if err := runExactStage(ctx, stage, rep, inlined, opt, degrade); err != nil {
 			return nil, err
-		}
-		switch {
-		case rep.Exact.Cancelled:
-			if !opt.Degrade {
-				return nil, fmt.Errorf("analyze: cancelled during exact waves: %w", ctx.Err())
-			}
-			degrade("exact exploration hit the deadline; polynomial verdict stands")
-		case rep.Exact.Truncated && opt.Degrade:
-			degrade("exact exploration hit the state budget; polynomial verdict stands")
 		}
 	}
 	return rep, nil
+}
+
+// runExactStage runs the exact wave explorer as a pipeline stage. It is
+// shared by the plain and memoized pipelines and never memoized itself:
+// its outcome depends on deadlines, budgets and cancellation, not just
+// the program source, so a cached result could replay one request's
+// truncation into another's.
+func runExactStage(ctx context.Context, stage func(string, func(*Span) error) error, rep *Report, inlined *Program, opt Options, degrade func(string)) error {
+	if cerr := ctx.Err(); cerr != nil && opt.Degrade {
+		degrade("exact exploration skipped: " + cerr.Error())
+		return nil
+	}
+	if err := stage("exact-waves", func(sp *Span) error {
+		// The exact path expands bounded loops precisely; predict that
+		// growth too, so "loop 64 times" nests are refused, not paid.
+		if max := opt.Limits.MaxUnrolledNodes; max > 0 {
+			if n := cfg.PredictExpandedRendezvous(inlined); n > int64(max) {
+				return &ResourceError{Resource: "expanded rendezvous nodes", Limit: max, Actual: clampInt(n)}
+			}
+		}
+		eg, err := waves.ExploreProgramGraph(rep.Program)
+		if err != nil {
+			return err
+		}
+		rep.ExactGraph = eg
+		eo := opt.ExactOptions
+		if eo.Cancel == nil && ctx.Done() != nil {
+			eo.Cancel = func() bool { return ctx.Err() != nil }
+		}
+		eo.Trace = sp
+		rep.Exact = waves.Explore(eg, eo)
+		return nil
+	}); err != nil {
+		return err
+	}
+	switch {
+	case rep.Exact.Cancelled:
+		if !opt.Degrade {
+			return fmt.Errorf("analyze: cancelled during exact waves: %w", ctx.Err())
+		}
+		degrade("exact exploration hit the deadline; polynomial verdict stands")
+	case rep.Exact.Truncated && opt.Degrade:
+		degrade("exact exploration hit the state budget; polynomial verdict stands")
+	}
+	return nil
+}
+
+// stageRunner returns the pipeline-stage executor shared by the plain
+// (AnalyzeContext) and memoized (AnalyzeSourceContext) pipelines. Each
+// stage runs one pipeline step under the same discipline: deadline gate,
+// trace span, fault injection point ("analyze.<name>"), and panic
+// containment. A panic anywhere inside fn becomes a typed *InternalError
+// carrying the stage name and stack — never a crash.
+func stageRunner(ctx context.Context, root *Span) func(name string, fn func(sp *Span) error) error {
+	return func(name string, fn func(sp *Span) error) (err error) {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("analyze: cancelled before %s: %w", name, cerr)
+		}
+		sp := root.StartChild(name)
+		defer sp.End()
+		defer func() {
+			if r := recover(); r != nil {
+				err = &InternalError{Stage: name, Value: r, Stack: string(debug.Stack())}
+			}
+		}()
+		if ferr := fault.Inject("analyze." + name); ferr != nil {
+			return fmt.Errorf("analyze: stage %s: %w", name, ferr)
+		}
+		return fn(sp)
+	}
 }
 
 // clampInt saturates an int64 prediction into int range for error reports.
@@ -495,7 +522,7 @@ func (r *Report) DeadlockFree() bool {
 
 // WitnessLabels renders one witness node set as statement labels.
 func (r *Report) WitnessLabels(w []int) []string {
-	var out []string
+	out := make([]string, 0, len(w))
 	for _, id := range w {
 		n := r.Graph.Nodes[id]
 		if n.Label != "" {
