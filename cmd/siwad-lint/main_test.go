@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const ctxflowFixture = "../../internal/lint/testdata/ctxflow"
+const ignoreFixture = "../../internal/lint/testdata/ignore"
+
+// TestJSONOutput pins the machine-readable contract: one JSON object
+// with diagnostics (file/line/analyzer/message), the suppressed count,
+// and the ignore audit, exit 1 while findings remain.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-fixtures", ctxflowFixture}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (fixture has findings); stderr: %s", code, stderr.String())
+	}
+	var out jsonOutput
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("output is not one JSON object: %v\n%s", err, stdout.String())
+	}
+	if len(out.Diagnostics) == 0 {
+		t.Fatal("no diagnostics in JSON output")
+	}
+	for _, d := range out.Diagnostics {
+		if d.File == "" || d.Line == 0 || d.Analyzer != "ctxflow" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestListIgnores: the audit mode lists every //lint:ignore site with
+// its reason and whether it suppressed anything.
+func TestListIgnores(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-list-ignores", "-fixtures", ignoreFixture}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	got := stdout.String()
+	if !strings.Contains(got, "[ctxflow]") || !strings.Contains(got, "(used)") {
+		t.Errorf("audit output missing analyzer tag or used marker:\n%s", got)
+	}
+}
+
+// TestAnalyzerSelection: -analyzers restricts the run, and an unknown
+// name is a usage error (exit 2).
+func TestAnalyzerSelection(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "waitlock", "-fixtures", ctxflowFixture}, &stdout, &stderr); code != 0 {
+		t.Errorf("waitlock-only over ctxflow fixture: exit = %d, want 0 (no waitlock findings)\n%s", code, stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-analyzers", "nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown analyzer: exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", stderr.String())
+	}
+}

@@ -13,6 +13,11 @@ import (
 	"repro/internal/service"
 )
 
+// marshalBatchRequest is a seam for tests: sub-batch marshalling cannot
+// fail through the public API (every wire field is a plain type), so the
+// regression test for the marshal-error cleanup path swaps it out.
+var marshalBatchRequest = json.Marshal
+
 // batchItem is one program riding through the scatter-gather machinery,
 // pinned to its slot in the client's request so the merged response
 // preserves input order no matter how the fleet reshuffles the work.
@@ -200,12 +205,17 @@ func (g *Gateway) sendChunk(ctx context.Context, b *backend, meta batchMeta, chu
 		}
 		timeoutMs = int64(rem / time.Millisecond)
 	}
-	body, err := json.Marshal(service.BatchRequest{
+	body, err := marshalBatchRequest(service.BatchRequest{
 		Programs:  progs,
 		Options:   meta.options,
 		TimeoutMs: timeoutMs,
 	})
 	if err != nil {
+		// scatter acquired the probe slot for this chunk and send() is
+		// what resolves it on every path; bailing out before send must
+		// release the slot itself, or a half-open breaker stays stuck
+		// forever with no probe ever reaching the backend.
+		b.breaker.Release()
 		for _, it := range chunk {
 			results[it.idx] = service.BatchResult{
 				ID:        it.prog.ID,

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestSendChunkMarshalErrorReleasesProbeSlot pins the marshal-error
+// cleanup path in sendChunk: scatter acquires the breaker's probe slot
+// before handing the chunk over, and send() resolves it on every path it
+// reaches — so an early exit before send must release the slot itself.
+// Before the fix, a half-open breaker whose probe chunk failed to
+// marshal stayed half-open forever: every later Acquire returned false
+// and the backend was never probed again (the same leak class as the
+// PR-5 probe-slot bug siwad-lint's pairup analyzer exists to catch).
+func TestSendChunkMarshalErrorReleasesProbeSlot(t *testing.T) {
+	orig := marshalBatchRequest
+	marshalBatchRequest = func(any) ([]byte, error) { return nil, errors.New("injected marshal failure") }
+	defer func() { marshalBatchRequest = orig }()
+
+	br := NewBreaker(1, time.Minute)
+	now := time.Now()
+	br.now = func() time.Time { return now }
+	br.Fail() // trip to open
+	now = now.Add(2 * time.Minute)
+	if !br.Acquire() { // as scatter does before calling sendChunk
+		t.Fatal("expected the half-open probe slot")
+	}
+
+	g := &Gateway{}
+	b := &backend{name: "http://replica", breaker: br}
+	chunk := []batchItem{{idx: 0, prog: service.BatchProgram{ID: "p1", Source: "task main { }"}}}
+	results := make([]service.BatchResult, 1)
+	g.sendChunk(context.Background(), b, batchMeta{}, chunk, results, 0)
+
+	if results[0].ErrorCode != service.CodeInternal {
+		t.Fatalf("results[0].ErrorCode = %q, want %q", results[0].ErrorCode, service.CodeInternal)
+	}
+	if !br.Acquire() {
+		t.Fatal("probe slot leaked: breaker stuck half-open after the marshal-error path")
+	}
+	br.Release()
+}

@@ -490,6 +490,7 @@ func (g *Gateway) Serve(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 	g.draining.Store(true)
+	//lint:ignore ctxflow ctx is already done here; the grace window must outlive it to drain in-flight requests
 	sctx, cancel := context.WithTimeout(context.Background(), g.cfg.ShutdownGrace)
 	defer cancel()
 	err := hs.Shutdown(sctx)

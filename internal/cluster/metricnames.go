@@ -1,0 +1,27 @@
+package cluster
+
+// metricFamilies is the gateway's metric pre-registration table: every
+// family the gateway exposes, mapped to its label key ("" = unlabeled).
+// siwad-lint's metricreg analyzer checks the exposition literals and
+// WriteProm calls in metrics.go against it (and the replica-name lookups
+// in fleet.go against the service package's table — the tables are
+// unioned across the run), and TestGatewayMetricFamiliesRegistered
+// cross-checks the rendered exposition at runtime.
+var metricFamilies = map[string]string{
+	"siwa_gateway_requests_total":               "endpoint",
+	"siwa_gateway_singleflight_dedup_total":     "",
+	"siwa_gateway_retries_total":                "",
+	"siwa_gateway_unavailable_total":            "",
+	"siwa_gateway_panics_total":                 "",
+	"siwa_gateway_hedges_total":                 "",
+	"siwa_gateway_hedge_wins_total":             "",
+	"siwa_gateway_retry_budget_exhausted_total": "",
+	"siwa_gateway_retry_budget_tokens":          "scope",
+	"siwa_gateway_batch_items_total":            "outcome",
+	"siwa_gateway_backend_requests_total":       "backend",
+	"siwa_gateway_backend_failures_total":       "backend",
+	"siwa_gateway_backend_up":                   "backend",
+	"siwa_gateway_breaker_state":                "backend",
+	"siwa_gateway_ring_ownership_millionths":    "backend",
+	"siwa_gateway_backend_request_seconds":      "backend",
+}

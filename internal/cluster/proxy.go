@@ -353,6 +353,34 @@ func newFlightGroup(timeout time.Duration) *flightGroup {
 	return &flightGroup{m: make(map[[sha256.Size]byte]*flight), timeout: timeout}
 }
 
+// begin claims single-flight leadership for key. The returned bool is
+// true for the leader, which must resolve the flight with finish on
+// every subsequent path: followers block on the flight until then, so an
+// abandoned leadership is an infinite wait for everyone behind it (the
+// PR-5 cancellation-sharing bug was exactly this shape — siwad-lint's
+// pairup analyzer now tracks the begin/finish pair). Followers get the
+// existing flight and false.
+func (fg *flightGroup) begin(key [sha256.Size]byte) (*flight, bool) {
+	fg.mu.Lock()
+	defer fg.mu.Unlock()
+	if f, ok := fg.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	fg.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and wakes every follower parked
+// on the flight. Exactly one finish per successful begin.
+func (fg *flightGroup) finish(key [sha256.Size]byte, f *flight, res *upstream, err error) {
+	f.res, f.err = res, err
+	fg.mu.Lock()
+	delete(fg.m, key)
+	fg.mu.Unlock()
+	close(f.done)
+}
+
 // do runs fn once per key among concurrent callers: the leader executes,
 // followers wait and share the leader's result. The leader runs fn on a
 // context detached from its own request (bounded by fg.timeout instead):
@@ -361,9 +389,8 @@ func newFlightGroup(timeout time.Duration) *flightGroup {
 // cancellation error for everyone. A follower that cancels only abandons
 // its own wait. shared reports whether this caller was a follower.
 func (fg *flightGroup) do(ctx context.Context, key [sha256.Size]byte, fn func(context.Context) (*upstream, error)) (res *upstream, err error, shared bool) {
-	fg.mu.Lock()
-	if f, ok := fg.m[key]; ok {
-		fg.mu.Unlock()
+	f, leader := fg.begin(key)
+	if !leader {
 		select {
 		case <-f.done:
 			return f.res, f.err, true
@@ -371,9 +398,6 @@ func (fg *flightGroup) do(ctx context.Context, key [sha256.Size]byte, fn func(co
 			return nil, ctx.Err(), true
 		}
 	}
-	f := &flight{done: make(chan struct{})}
-	fg.m[key] = f
-	fg.mu.Unlock()
 	// WithoutCancel keeps context VALUES, so the deadline budget survives
 	// the detachment: a leader working under a short client budget is
 	// bounded by that budget, not the full upstream timeout.
@@ -382,13 +406,10 @@ func (fg *flightGroup) do(ctx context.Context, key [sha256.Size]byte, fn func(co
 		timeout = rem
 	}
 	ectx, cancel := context.WithTimeout(context.WithoutCancel(ctx), timeout)
-	f.res, f.err = fn(ectx)
+	res, err = fn(ectx)
 	cancel()
-	fg.mu.Lock()
-	delete(fg.m, key)
-	fg.mu.Unlock()
-	close(f.done)
-	return f.res, f.err, false
+	fg.finish(key, f, res, err)
+	return res, err, false
 }
 
 // readBody slurps the request body under the configured cap.

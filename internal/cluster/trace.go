@@ -107,7 +107,7 @@ func (g *Gateway) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	recs := g.exporter.Get(id) // deep copies: grafting never mutates the ring
 	if len(recs) == 0 {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: service.ErrorBody{
-			Code:    "not_found",
+			Code:    service.CodeNotFound,
 			Message: fmt.Sprintf("no retained trace %q", id),
 		}})
 		return

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxflowAnalyzer is the paper's lost-cancellation anomaly: a request
+// context that stops flowing. In the rendezvous model a process waits
+// forever because the message that would release it is never sent; in
+// this codebase the same shape is a handler that swaps the request ctx
+// for context.Background() (or TODO) partway down the call chain — every
+// deadline and cancellation upstream of that point silently stops
+// propagating, and the work below it can outlive the request forever.
+//
+// The rule: inside any function that has a context.Context in scope
+// (its own parameter, or a captured one from an enclosing function),
+// calling context.Background() or context.TODO() is a finding. Detached
+// lifetimes that are deliberate — the shutdown grace window, the
+// single-flight leader that must survive its first caller — carry a
+// //lint:ignore ctxflow <reason>, which is exactly the audit trail the
+// allowlist wants. context.WithoutCancel(ctx) is the sanctioned way to
+// detach lifetime while keeping values, and is not flagged.
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "request contexts must keep flowing: no fresh context roots inside ctx-aware functions",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ctxflowVisit(pass, f, false)
+	}
+}
+
+// ctxflowVisit walks n, tracking whether a context.Context parameter is
+// lexically in scope (inScope). Function literals inherit the enclosing
+// scope's context through capture; named functions start fresh.
+func ctxflowVisit(pass *Pass, n ast.Node, inScope bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				ctxflowVisit(pass, x.Body, hasCtxParam(pass.Pkg.Info, x.Type))
+			}
+			return false
+		case *ast.FuncLit:
+			ctxflowVisit(pass, x.Body, inScope || hasCtxParam(pass.Pkg.Info, x.Type))
+			return false
+		case *ast.CallExpr:
+			if !inScope {
+				return true
+			}
+			if pkg, name, ok := funcCall(pass.Pkg.Info, x); ok && pkg == "context" && (name == "Background" || name == "TODO") {
+				pass.Reportf(x.Pos(),
+					"thread the caller's ctx (derive with context.WithTimeout/WithCancel, or context.WithoutCancel for deliberate detachment)",
+					"context.%s() inside a context-aware function detaches this call chain from cancellation", name)
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter (ignoring the blank identifier: a ctx the
+// function cannot name is a ctx it cannot thread).
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			continue // unnamed param: nothing to thread
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrtaxonomyAnalyzer pins error responses to the registered taxonomy.
+// The taxonomy is the set of package-level `Code*` string constants
+// (internal/service/errors.go in the real tree), unioned across every
+// package in the run. Clients key retry/backoff behaviour off these
+// strings, and the gateway's retry budget classifies replica failures by
+// them — an ad-hoc code at one writeError site is invisible drift that
+// never fails a test. Checked sites: writeError-style calls (the
+// parameter literally named "code"), Code/ErrorCode fields in composite
+// literals, and Code/ErrorCode field assignments. Only compile-time
+// constant strings are checked; dynamically built codes pass through.
+//
+// A run with no Code* constants anywhere stays silent.
+var ErrtaxonomyAnalyzer = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "error responses may only carry registered taxonomy codes (Code* constants)",
+	Run:  runErrtaxonomy,
+}
+
+func runErrtaxonomy(pass *Pass) {
+	reg := collectTaxonomy(pass)
+	if len(reg) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkCodeParam(pass, reg, x)
+			case *ast.CompositeLit:
+				checkCodeFields(pass, reg, x)
+			case *ast.AssignStmt:
+				checkCodeAssign(pass, reg, x)
+			}
+			return true
+		})
+	}
+}
+
+// collectTaxonomy unions every package-level Code* string constant in the
+// run and its typechecked context into code -> defining package, so a
+// subset run still accepts codes the gateway relays verbatim from the
+// service taxonomy.
+func collectTaxonomy(pass *Pass) map[string]string {
+	reg := make(map[string]string)
+	for _, pkg := range append(append([]*Package{}, pass.All...), pass.Context...) {
+		if pkg.Types == nil || pkg.Standard {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if !strings.HasPrefix(name, "Code") || name == "Code" {
+				continue
+			}
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || c.Val().Kind() != constant.String {
+				continue
+			}
+			reg[constant.StringVal(c.Val())] = pkg.ImportPath
+		}
+	}
+	return reg
+}
+
+func reportCode(pass *Pass, pos ast.Node, code string) {
+	pass.Reportf(pos.Pos(),
+		"use a registered Code* constant (or add the new code to the taxonomy first)",
+		"error code %q is not in the registered taxonomy", code)
+}
+
+// checkCodeParam validates constant-string arguments bound to a
+// parameter named "code" — the writeError(w, status, code, ...) shape in
+// both the service and the gateway.
+func checkCodeParam(pass *Pass, reg map[string]string, call *ast.CallExpr) {
+	sig := calleeSignature(pass.Pkg.Info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		if params.At(i).Name() != "code" {
+			continue
+		}
+		if b, ok := params.At(i).Type().(*types.Basic); !ok || b.Kind() != types.String {
+			continue
+		}
+		if code, isConst := constString(pass.Pkg.Info, call.Args[i]); isConst {
+			if _, registered := reg[code]; !registered {
+				reportCode(pass, call.Args[i], code)
+			}
+		}
+	}
+}
+
+// calleeSignature resolves the called function's signature, for plain
+// functions and methods alike; nil for conversions, builtins, and
+// indirect calls with no resolvable object.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// checkCodeFields validates Code / ErrorCode keys in composite literals
+// (ErrorBody{Code: ...}, BatchResult{ErrorCode: ...}, codedError{...}).
+func checkCodeFields(pass *Pass, reg map[string]string, cl *ast.CompositeLit) {
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !isCodeField(key.Name) {
+			continue
+		}
+		if code, isConst := constString(pass.Pkg.Info, kv.Value); isConst && code != "" {
+			if _, registered := reg[code]; !registered {
+				reportCode(pass, kv.Value, code)
+			}
+		}
+	}
+}
+
+// checkCodeAssign validates `x.Code = "..."` / `x.ErrorCode = "..."`.
+func checkCodeAssign(pass *Pass, reg map[string]string, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || !isCodeField(sel.Sel.Name) {
+			continue
+		}
+		if code, isConst := constString(pass.Pkg.Info, as.Rhs[i]); isConst && code != "" {
+			if _, registered := reg[code]; !registered {
+				reportCode(pass, as.Rhs[i], code)
+			}
+		}
+	}
+}
+
+func isCodeField(name string) bool {
+	return name == "Code" || name == "ErrorCode" || name == "code"
+}
+
+// constString resolves e to a compile-time string constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}

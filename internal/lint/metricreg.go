@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// MetricregAnalyzer keeps the exposition surface honest: every metric
+// name and label key that appears at an observation site (a hand-rolled
+// Prometheus Fprintf literal, or a WriteProm call) must appear in a
+// package-level `metricFamilies` registration table with a consistent
+// label. The tables are unioned across every package in the run — the
+// gateway aggregates replica metrics by name, so a drifted spelling
+// doesn't fail loudly anywhere at runtime; it just silently stops
+// aggregating. That silent divergence is this pass's quarry.
+//
+// A run with no metricFamilies table anywhere stays silent: packages
+// that don't expose metrics have nothing to register.
+var MetricregAnalyzer = &Analyzer{
+	Name: "metricreg",
+	Doc:  "metric names and label keys at observation sites must match the metricFamilies registration tables",
+	Run:  runMetricreg,
+}
+
+// metricPrefixes marks which literals look like metric names at all.
+// Exact prefix arguments (Exporter.WriteProm(w, "siwa_gateway")) are
+// skipped — they name a namespace, not a family.
+var (
+	metricPrefix      = "siwa_"
+	metricExactSkips  = map[string]bool{"siwa": true, "siwa_gateway": true}
+	histogramSuffixes = []string{"_bucket", "_sum", "_count"}
+)
+
+func runMetricreg(pass *Pass) {
+	reg := collectMetricFamilies(pass)
+	if len(reg) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		registryFile := fileDeclaresMetricFamilies(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BasicLit:
+				if x.Kind != token.STRING || registryFile {
+					return true
+				}
+				checkMetricLiteral(pass, reg, x)
+			case *ast.CallExpr:
+				checkWriteProm(pass, reg, x)
+			}
+			return true
+		})
+	}
+}
+
+// fileDeclaresMetricFamilies reports whether the file holds the
+// registration table itself — its keys are the registry, not sites.
+func fileDeclaresMetricFamilies(f *ast.File) bool {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if name.Name == "metricFamilies" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// collectMetricFamilies unions every package-level
+// `var metricFamilies = map[string]string{...}` table in the run and its
+// typechecked context (the dependency closure), so linting one package
+// still resolves tables its cross-package observation sites check
+// against. Key: metric family name; value: its label key ("" = unlabeled).
+func collectMetricFamilies(pass *Pass) map[string]string {
+	reg := make(map[string]string)
+	seen := make(map[string]bool, len(pass.All)+len(pass.Context))
+	pkgs := make([]*Package, 0, len(pass.All)+len(pass.Context))
+	for _, pkg := range append(append([]*Package{}, pass.All...), pass.Context...) {
+		if pkg.Standard || seen[pkg.ImportPath] {
+			continue
+		}
+		seen[pkg.ImportPath] = true
+		pkgs = append(pkgs, pkg)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "metricFamilies" || i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						for _, el := range cl.Elts {
+							kv, ok := el.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							k, okK := stringConst(pass, pkg, kv.Key)
+							v, okV := stringConst(pass, pkg, kv.Value)
+							if okK && okV {
+								reg[k] = v
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return reg
+}
+
+// stringConst resolves e to a compile-time string, via the package's
+// type info (handles const references, not just literals).
+func stringConst(pass *Pass, pkg *Package, e ast.Expr) (string, bool) {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}
+
+// checkMetricLiteral inspects one string literal for a metric-shaped
+// prefix: `siwa_xxx`, `siwa_xxx{label=%q} %d\n`, etc.
+func checkMetricLiteral(pass *Pass, reg map[string]string, lit *ast.BasicLit) {
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	name, label, isMetric := splitMetricLiteral(s)
+	if !isMetric {
+		return
+	}
+	base := stripHistogramSuffix(name)
+	want, registered := reg[base]
+	if !registered {
+		pass.Reportf(lit.Pos(),
+			"add the family to metricFamilies (or fix the spelling at the site)",
+			"metric %q is not in the metricFamilies registration table", base)
+		return
+	}
+	if label != "" && label != want {
+		if want == "" {
+			pass.Reportf(lit.Pos(),
+				"register the label key in metricFamilies or drop it at the site",
+				"metric %q uses label %q but is registered without labels", base, label)
+		} else {
+			pass.Reportf(lit.Pos(),
+				"use the registered label key consistently at every site",
+				"metric %q uses label %q; registered label key is %q", base, label, want)
+		}
+	}
+}
+
+// splitMetricLiteral extracts (family, labelKey) from a literal that
+// starts with a metric-shaped token. isMetric is false for everything
+// else (including the exact namespace prefixes).
+func splitMetricLiteral(s string) (name, label string, isMetric bool) {
+	i := 0
+	for i < len(s) && (s[i] == '_' || (s[i] >= 'a' && s[i] <= 'z') || (s[i] >= '0' && s[i] <= '9')) {
+		i++
+	}
+	name = s[:i]
+	if len(name) <= len(metricPrefix) || !strings.HasPrefix(name, metricPrefix) || metricExactSkips[name] {
+		return "", "", false
+	}
+	rest := s[i:]
+	// A bare name is only a metric site when the literal is exactly the
+	// name or clearly an exposition line (followed by '{' or ' ' or "\n").
+	if rest != "" && rest[0] != '{' && rest[0] != ' ' && rest[0] != '\n' {
+		return "", "", false
+	}
+	if strings.HasPrefix(rest, "{") {
+		if j := strings.IndexByte(rest, '='); j > 1 {
+			label = rest[1:j]
+		}
+	}
+	return name, label, true
+}
+
+func stripHistogramSuffix(name string) string {
+	for _, suf := range histogramSuffixes {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// checkWriteProm validates WriteProm(w, name, labelKey, ...) call sites:
+// the separated name/label-key form of an observation site.
+func checkWriteProm(pass *Pass, reg map[string]string, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteProm" || len(call.Args) < 2 {
+		return
+	}
+	name, ok := stringConst(pass, pass.Pkg, call.Args[1])
+	if !ok || !strings.HasPrefix(name, metricPrefix) || metricExactSkips[name] {
+		return
+	}
+	base := stripHistogramSuffix(name)
+	want, registered := reg[base]
+	if !registered {
+		pass.Reportf(call.Args[1].Pos(),
+			"add the family to metricFamilies (or fix the spelling at the site)",
+			"metric %q is not in the metricFamilies registration table", base)
+		return
+	}
+	if len(call.Args) >= 3 {
+		if label, ok := stringConst(pass, pass.Pkg, call.Args[2]); ok && label != want {
+			pass.Reportf(call.Args[2].Pos(),
+				"use the registered label key consistently at every site",
+				"metric %q uses label %q; registered label key is %q", base, label, want)
+		}
+	}
+}

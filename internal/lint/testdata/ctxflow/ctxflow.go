@@ -1,0 +1,51 @@
+// Package fixtures exercises the ctxflow analyzer: a function that
+// receives a context must keep it flowing — swapping in a fresh root
+// detaches everything below from cancellation, the lost-rendezvous shape
+// of the paper's infinite wait.
+package fixtures
+
+import (
+	"context"
+	"time"
+)
+
+func threaded(ctx context.Context, work func(context.Context) error) error {
+	return work(ctx)
+}
+
+func detached(ctx context.Context, work func(context.Context) error) error {
+	return work(context.Background()) // want `context.Background\(\) inside a context-aware function`
+}
+
+func todoDetached(ctx context.Context, work func(context.Context) error) error {
+	return work(context.TODO()) // want `context.TODO\(\) inside a context-aware function`
+}
+
+func derived(ctx context.Context, work func(context.Context) error) error {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(dctx)
+}
+
+func sanctionedDetachment(ctx context.Context, work func(context.Context) error) error {
+	// WithoutCancel keeps values (deadline budgets, trace ids) while
+	// deliberately detaching lifetime: not a finding.
+	return work(context.WithoutCancel(ctx))
+}
+
+func rootIsFineWithoutCtx(work func(context.Context) error) error {
+	// No context in scope: Background is the legitimate root here.
+	return work(context.Background())
+}
+
+func closureInheritsScope(ctx context.Context, out chan<- context.Context) {
+	go func() {
+		out <- context.Background() // want `context.Background\(\) inside a context-aware function`
+	}()
+}
+
+func freshClosureIsItsOwnScope(out chan<- func() context.Context) {
+	out <- func() context.Context {
+		return context.Background()
+	}
+}

@@ -1,0 +1,45 @@
+// Package fixtures exercises the errtaxonomy analyzer: error responses
+// may only carry codes registered as package-level Code* constants.
+package fixtures
+
+import (
+	"fmt"
+	"net/http"
+)
+
+const (
+	CodeInvalid  = "invalid_request"
+	CodeInternal = "internal"
+)
+
+type ErrorBody struct {
+	Code    string
+	Message string
+}
+
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "%s: %s", code, fmt.Sprintf(format, args...))
+}
+
+func respond(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, CodeInvalid, "bad request")
+	writeError(w, http.StatusBadRequest, "bad_request", "oops") // want `error code "bad_request" is not in the registered taxonomy`
+}
+
+func buildBody(ok bool) ErrorBody {
+	if ok {
+		return ErrorBody{Code: CodeInternal, Message: "contained"}
+	}
+	return ErrorBody{Code: "oops_internal", Message: "drifted"} // want `error code "oops_internal" is not in the registered taxonomy`
+}
+
+func assignBody(b *ErrorBody) {
+	b.Code = CodeInvalid
+	b.Code = "whoops" // want `error code "whoops" is not in the registered taxonomy`
+}
+
+func dynamicCodesPassThrough(b *ErrorBody, upstream string) {
+	// Relaying an upstream code verbatim is not a constant: unchecked.
+	b.Code = upstream
+}

@@ -1,0 +1,16 @@
+// Package fixtures exercises the //lint:ignore mechanics: a well-formed
+// directive suppresses (and is counted), a reason-less directive is
+// itself a diagnostic and suppresses nothing.
+package fixtures
+
+import "context"
+
+func deliberateDetachment(ctx context.Context) context.Context {
+	//lint:ignore ctxflow fixture demonstrates a deliberate, documented detachment
+	return context.Background()
+}
+
+func reasonlessDirective(ctx context.Context) context.Context {
+	//lint:ignore ctxflow
+	return context.Background()
+}

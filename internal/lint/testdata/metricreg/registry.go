@@ -1,0 +1,10 @@
+// Package fixtures exercises the metricreg analyzer. This file is the
+// registration table; sites.go holds the observation sites checked
+// against it.
+package fixtures
+
+var metricFamilies = map[string]string{
+	"siwa_fixture_requests_total":  "endpoint",
+	"siwa_fixture_depth":           "",
+	"siwa_fixture_latency_seconds": "stage",
+}

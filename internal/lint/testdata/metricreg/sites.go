@@ -1,0 +1,27 @@
+package fixtures
+
+import (
+	"fmt"
+	"io"
+)
+
+func writeMetrics(w io.Writer, n int) {
+	fmt.Fprintf(w, "siwa_fixture_requests_total{endpoint=%q} %d\n", "analyze", n)
+	fmt.Fprintf(w, "siwa_fixture_depth %d\n", n)
+	fmt.Fprintf(w, "siwa_fixture_reqs_total{endpoint=%q} %d\n", "analyze", n)  // want `metric "siwa_fixture_reqs_total" is not in the metricFamilies registration table`
+	fmt.Fprintf(w, "siwa_fixture_requests_total{route=%q} %d\n", "analyze", n) // want `metric "siwa_fixture_requests_total" uses label "route"; registered label key is "endpoint"`
+	fmt.Fprintf(w, "siwa_fixture_depth{shard=%q} %d\n", "a", n)                // want `metric "siwa_fixture_depth" uses label "shard" but is registered without labels`
+	fmt.Fprintf(w, "# HELP siwa_fixture_requests_total requests received\n")   // HELP lines are not observation sites
+	fmt.Fprintf(w, "prefix_%s_total %d\n", "dynamic", n)                       // dynamic names are unchecked by design
+}
+
+type histogram struct{}
+
+func (h *histogram) WriteProm(w io.Writer, name, labelKey, labelValue string) {}
+
+func writeHistograms(w io.Writer, h *histogram) {
+	h.WriteProm(w, "siwa_fixture_latency_seconds", "stage", "parse")
+	h.WriteProm(w, "siwa_fixture_latency_seconds_bucket", "stage", "parse")
+	h.WriteProm(w, "siwa_fixture_lat_seconds", "stage", "parse")     // want `metric "siwa_fixture_lat_seconds" is not in the metricFamilies registration table`
+	h.WriteProm(w, "siwa_fixture_latency_seconds", "phase", "parse") // want `metric "siwa_fixture_latency_seconds" uses label "phase"; registered label key is "stage"`
+}

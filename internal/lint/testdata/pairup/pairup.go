@@ -1,0 +1,229 @@
+// Package fixtures reproduces this repository's real resource-leak bug
+// history for the pairup analyzer. The types are local stand-ins — pairup
+// matches pairs by type and method name, never by package path — so the
+// two PR-5 gateway bugs stay pinned here in their pre-fix shapes: the
+// circuit breaker probe-slot leak and the abandoned single-flight
+// leadership.
+package fixtures
+
+import "errors"
+
+// Breaker stands in for the gateway circuit breaker: every Acquire must
+// be resolved by Success, Fail, or Release.
+type Breaker struct{ open bool }
+
+func (b *Breaker) Acquire() bool { return !b.open }
+func (b *Breaker) Release()      {}
+func (b *Breaker) Success()      {}
+func (b *Breaker) Fail()         {}
+
+type backend struct {
+	name    string
+	breaker *Breaker
+}
+
+// probeSlotLeak is the pre-fix PR-5 breaker bug: the failure path returns
+// without resolving the acquired probe slot, so a half-open breaker stays
+// half-open forever and the backend is never probed again.
+func probeSlotLeak(b *backend, fail bool) error {
+	if !b.breaker.Acquire() {
+		return errors.New("probe lost")
+	}
+	if fail {
+		return errors.New("upstream down") // want `breaker probe slot acquired at line \d+ is not released on this path`
+	}
+	b.breaker.Success()
+	return nil
+}
+
+// probeSlotResolved is the post-fix shape: every path judges the probe.
+func probeSlotResolved(b *backend, fail bool) error {
+	if !b.breaker.Acquire() {
+		return errors.New("probe lost")
+	}
+	if fail {
+		b.breaker.Fail()
+		return errors.New("upstream down")
+	}
+	b.breaker.Success()
+	return nil
+}
+
+// probeSlotHandedOff transfers ownership: the backend goes to a resolver,
+// exactly like the real attemptOne handing its backend to send().
+func probeSlotHandedOff(b *backend) error {
+	if !b.breaker.Acquire() {
+		return errors.New("probe lost")
+	}
+	return resolve(b)
+}
+
+func resolve(b *backend) error {
+	b.breaker.Success()
+	return nil
+}
+
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+type flightGroup struct {
+	m     map[string]*flight
+	limit int
+}
+
+func (fg *flightGroup) begin(key string) (*flight, bool) {
+	if f, ok := fg.m[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	fg.m[key] = f
+	return f, true
+}
+
+func (fg *flightGroup) finish(key string, f *flight) {
+	delete(fg.m, key)
+	close(f.done)
+}
+
+// leaderAbandoned is the PR-5 cancellation-sharing shape: the leader
+// bails out on its own cancellation without finishing the flight, and
+// every follower parked on f.done waits forever.
+func leaderAbandoned(fg *flightGroup, key string, cancelled bool) error {
+	f, leader := fg.begin(key)
+	if !leader {
+		<-f.done
+		return f.err
+	}
+	if cancelled {
+		return errors.New("client cancelled") // want `single-flight leadership acquired at line \d+ is not released on this path`
+	}
+	fg.finish(key, f)
+	return nil
+}
+
+// leaderAbandonedAfterReceiverRead pins the escape rule's shape
+// awareness: the flight group is the registry, not the owner — reading a
+// field off it must not end tracking of the flight handle. (An earlier
+// rule treated any receiver use as a handoff and went silent on exactly
+// the real gateway shape, where the leader reads fg.timeout before
+// running the upstream call.)
+func leaderAbandonedAfterReceiverRead(fg *flightGroup, key string, n int) error {
+	f, leader := fg.begin(key)
+	if !leader {
+		<-f.done
+		return f.err
+	}
+	limit := fg.limit
+	if n > limit {
+		return errors.New("over limit") // want `single-flight leadership acquired at line \d+ is not released on this path`
+	}
+	fg.finish(key, f)
+	return nil
+}
+
+// leaderFinishes is the post-fix shape: the leader finishes on every
+// path, even when its own caller has gone away.
+func leaderFinishes(fg *flightGroup, key string, cancelled bool) error {
+	f, leader := fg.begin(key)
+	if !leader {
+		<-f.done
+		return f.err
+	}
+	if cancelled {
+		fg.finish(key, f)
+		return errors.New("client cancelled")
+	}
+	fg.finish(key, f)
+	return nil
+}
+
+// Pool stands in for the sync.Pool Get/Put pairing around pooled buffers.
+type Pool struct{ free []*buffer }
+
+type buffer struct{ b []byte }
+
+func (p *Pool) Get() *buffer {
+	if n := len(p.free); n > 0 {
+		buf := p.free[n-1]
+		p.free = p.free[:n-1]
+		return buf
+	}
+	return &buffer{}
+}
+
+func (p *Pool) Put(b *buffer) { p.free = append(p.free, b) }
+
+func pooledLeak(p *Pool, huge bool) {
+	buf := p.Get()
+	if huge {
+		return // want `pooled object acquired at line \d+ is not released on this path`
+	}
+	p.Put(buf)
+}
+
+func pooledDeferredPut(p *Pool, n int) int {
+	buf := p.Get()
+	defer p.Put(buf)
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+type Span struct{ name string }
+
+func (s *Span) StartChild(name string) *Span { return &Span{name: name} }
+func (s *Span) End()                         {}
+
+type Tracer struct{}
+
+func (t *Tracer) Start(name string) *Span { return &Span{name: name} }
+
+func spanLeak(root *Span, fail bool) error {
+	sp := root.StartChild("stage")
+	if fail {
+		return errors.New("stage failed") // want `span acquired at line \d+ is not released on this path`
+	}
+	sp.End()
+	return nil
+}
+
+func spanDeferredEnd(root *Span) {
+	sp := root.StartChild("stage")
+	defer sp.End()
+}
+
+func spanReturnedToCaller(t *Tracer, bail bool) *Span {
+	sp := t.Start("request")
+	if bail {
+		return nil // want `span acquired at line \d+ is not released on this path`
+	}
+	return sp
+}
+
+type tickets struct{ ch chan struct{} }
+
+func (t tickets) acquire() { t.ch <- struct{}{} }
+func (t tickets) release() { <-t.ch }
+
+// ticketLeak loses one admission ticket per spawned item: the batch
+// starves itself once the channel fills.
+func ticketLeak(t tickets, items []int) {
+	for range items {
+		t.acquire()
+		go func() {
+			// forgot t.release()
+		}()
+	}
+} // want `admission ticket acquired at line \d+ is not released on this path`
+
+func ticketPaired(t tickets, items []int) {
+	for range items {
+		t.acquire()
+		go func() {
+			defer t.release()
+		}()
+	}
+}

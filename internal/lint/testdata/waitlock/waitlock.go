@@ -1,0 +1,133 @@
+// Package fixtures exercises the waitlock analyzer: blocking operations
+// reached while a sync.Mutex or sync.RWMutex is held. Local types only —
+// fixtures never import module packages, so they stay frozen as the real
+// code evolves.
+package fixtures
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+	data map[string]int
+	ch   chan int
+}
+
+func (s *store) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *store) sendUnderDeferredUnlock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `channel send while s.mu is held`
+}
+
+func (s *store) recvUnderLock() int {
+	s.mu.Lock()
+	v := <-s.ch // want `channel receive while s.mu is held`
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) waitGroupUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want `sync.WaitGroup.Wait while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *store) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while s.mu is held`
+	case v := <-s.ch:
+		s.data["k"] = v
+	}
+}
+
+func (s *store) selectWithDefaultIsFine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.data["k"] = v
+	default:
+	}
+}
+
+func (s *store) doubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s.mu is locked again while already held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *store) heldOnOnePathCounts(flag bool) {
+	s.mu.Lock()
+	if flag {
+		s.mu.Unlock()
+	}
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+	if !flag {
+		s.mu.Unlock()
+	}
+}
+
+func (s *store) sleepAfterUnlockIsFine() {
+	s.mu.Lock()
+	s.data["k"] = 1
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+func (s *store) goroutineDoesNotInheritTheLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+func (s *store) closureHoldingItsOwnLock() {
+	go func() {
+		s.mu.Lock()
+		time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+		s.mu.Unlock()
+	}()
+}
+
+func (s *store) rangeOverChannelUnderLock() int {
+	total := 0
+	s.mu.Lock()
+	for v := range s.ch { // want `range over channel while s.mu is held`
+		total += v
+	}
+	s.mu.Unlock()
+	return total
+}
+
+type cache struct {
+	rw sync.RWMutex
+	ch chan struct{}
+}
+
+func (c *cache) receiveUnderReadLock() {
+	c.rw.RLock()
+	<-c.ch // want `channel receive while c.rw is held`
+	c.rw.RUnlock()
+}
+
+func fetchUnderLock(mu *sync.Mutex, client *http.Client) {
+	mu.Lock()
+	defer mu.Unlock()
+	resp, err := client.Get("http://localhost/healthz") // want `http.Client.Get while mu is held`
+	if err == nil {
+		resp.Body.Close()
+	}
+}

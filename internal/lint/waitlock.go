@@ -1,0 +1,395 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WaitlockAnalyzer is the paper's infinite-wait anomaly transliterated to
+// Go: a blocking operation — channel send/receive outside a
+// select-with-default, a select with no default, time.Sleep, a
+// WaitGroup/Cond wait, or a network/HTTP call — reached while a
+// sync.Mutex or sync.RWMutex is held. Every goroutine that touches the
+// same mutex then inherits the wait: the paper's rendezvous that may
+// never complete, with the lock as the rendezvous.
+//
+// The pass is flow-sensitive per function: it tracks the held-lock set
+// through statement lists, branches (states merge as a union — held on
+// any path counts), and loops, clears a lock at its Unlock, and keeps a
+// deferred Unlock held to the end of the function (that is the point:
+// blocking under `defer mu.Unlock()` is the bug). Function literals are
+// not entered — a goroutine body does not hold the caller's lock, and a
+// deferred closure runs after the critical section.
+var WaitlockAnalyzer = &Analyzer{
+	Name: "waitlock",
+	Doc:  "blocking operation while a sync mutex is held (infinite-wait anomaly)",
+	Run:  runWaitlock,
+}
+
+// lockEvent classifies a statement's effect on the held-lock set.
+type lockEvent int
+
+const (
+	lockNone lockEvent = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockOp resolves call as a Lock/RLock/Unlock/RUnlock on a sync.Mutex or
+// sync.RWMutex (including promoted methods on embedding structs),
+// returning the lock's identity key (the printed receiver expression).
+func lockOp(info *types.Info, call *ast.CallExpr) (key string, ev lockEvent) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", lockNone
+	}
+	f, ok := selection.Obj().(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", lockNone
+	}
+	_, tname := namedInfo(recv.Type())
+	if tname != "Mutex" && tname != "RWMutex" {
+		return "", lockNone
+	}
+	switch f.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), lockAcquire
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), lockRelease
+	}
+	return "", lockNone
+}
+
+// blockingMethods maps (package path, type name, method) to a
+// description. These are operations with unbounded wait: the callee
+// blocks on the network, a timer, or another goroutine.
+var blockingMethods = map[[3]string]string{
+	{"sync", "WaitGroup", "Wait"}:             "sync.WaitGroup.Wait",
+	{"sync", "Cond", "Wait"}:                  "sync.Cond.Wait",
+	{"net/http", "Client", "Do"}:              "http.Client.Do",
+	{"net/http", "Client", "Get"}:             "http.Client.Get",
+	{"net/http", "Client", "Post"}:            "http.Client.Post",
+	{"net/http", "Client", "PostForm"}:        "http.Client.PostForm",
+	{"net/http", "Client", "Head"}:            "http.Client.Head",
+	{"net/http", "Transport", "RoundTrip"}:    "http.Transport.RoundTrip",
+	{"net/http", "RoundTripper", "RoundTrip"}: "http.RoundTripper.RoundTrip",
+	{"net/http", "Server", "Serve"}:           "http.Server.Serve",
+	{"net/http", "Server", "ListenAndServe"}:  "http.Server.ListenAndServe",
+	{"net/http", "Server", "Shutdown"}:        "http.Server.Shutdown",
+	{"net", "Dialer", "Dial"}:                 "net.Dialer.Dial",
+	{"net", "Dialer", "DialContext"}:          "net.Dialer.DialContext",
+	{"os/exec", "Cmd", "Run"}:                 "exec.Cmd.Run",
+	{"os/exec", "Cmd", "Wait"}:                "exec.Cmd.Wait",
+	{"os/exec", "Cmd", "Output"}:              "exec.Cmd.Output",
+	{"os/exec", "Cmd", "CombinedOutput"}:      "exec.Cmd.CombinedOutput",
+}
+
+// blockingFuncs maps (package path, function) likewise.
+var blockingFuncs = map[[2]string]string{
+	{"time", "Sleep"}:        "time.Sleep",
+	{"net/http", "Get"}:      "http.Get",
+	{"net/http", "Post"}:     "http.Post",
+	{"net/http", "PostForm"}: "http.PostForm",
+	{"net/http", "Head"}:     "http.Head",
+	{"net", "Dial"}:          "net.Dial",
+	{"net", "DialTimeout"}:   "net.DialTimeout",
+}
+
+// blockingCall names the blocking operation call performs, if any.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if _, pkg, tname, method, ok := methodCall(info, call); ok {
+		if desc, hit := blockingMethods[[3]string{pkg, tname, method}]; hit {
+			return desc, true
+		}
+		return "", false
+	}
+	if pkg, name, ok := funcCall(info, call); ok {
+		if desc, hit := blockingFuncs[[2]string{pkg, name}]; hit {
+			return desc, true
+		}
+	}
+	return "", false
+}
+
+// lockSet is the held-lock state at one program point: lock key -> the
+// position of the acquiring Lock call.
+type lockSet map[string]token.Pos
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s lockSet) union(other lockSet) {
+	for k, v := range other {
+		if _, ok := s[k]; !ok {
+			s[k] = v
+		}
+	}
+}
+
+type waitlockWalker struct {
+	pass *Pass
+	info *types.Info
+}
+
+func runWaitlock(pass *Pass) {
+	w := &waitlockWalker{pass: pass, info: pass.Pkg.Info}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					w.stmts(fn.Body.List, lockSet{})
+				}
+				return false // stmts descends into nested FuncLits itself
+			case *ast.FuncLit:
+				// Reached only for package-level var initializers; function
+				// bodies were already claimed above.
+				w.stmts(fn.Body.List, lockSet{})
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// stmts walks a statement list, threading the held-lock set through, and
+// returns the state at fall-through.
+func (w *waitlockWalker) stmts(list []ast.Stmt, held lockSet) lockSet {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *waitlockWalker) stmt(s ast.Stmt, held lockSet) lockSet {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, ev := lockOp(w.info, call); ev != lockNone {
+				switch ev {
+				case lockAcquire:
+					if pos, already := held[key]; already {
+						w.pass.Reportf(call.Pos(), "release the lock before re-acquiring it",
+							"%s is locked again while already held (locked at line %d): self-deadlock",
+							key, w.pass.Fset.Position(pos).Line)
+					}
+					held = held.clone()
+					held[key] = call.Pos()
+				case lockRelease:
+					held = held.clone()
+					delete(held, key)
+				}
+				return held
+			}
+		}
+		w.checkExpr(st.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function; a deferred closure runs outside this flow, but its body
+		// is still a function worth analyzing on its own.
+		w.checkFuncLits(st.Call)
+		return held
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold the caller's locks; the
+		// arguments are evaluated now, though.
+		w.checkFuncLits(st.Call)
+		for _, arg := range st.Call.Args {
+			if _, ok := arg.(*ast.FuncLit); !ok {
+				w.checkExpr(arg, held)
+			}
+		}
+		return held
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.reportBlocked(st.Pos(), "channel send", held)
+		}
+		w.checkExpr(st.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(st.X, held)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held)
+	case *ast.BlockStmt:
+		inner := w.stmts(st.List, held.clone())
+		return inner
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = w.stmt(st.Init, held)
+		}
+		w.checkExpr(st.Cond, held)
+		merged := lockSet{}
+		thenState := w.stmts(st.Body.List, held.clone())
+		if !lastTerminates(w.info, st.Body.List) {
+			merged.union(thenState)
+		}
+		if st.Else != nil {
+			elseState := w.stmt(st.Else, held.clone())
+			elseTerm := false
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				elseTerm = lastTerminates(w.info, e.List)
+			}
+			if !elseTerm {
+				merged.union(elseState)
+			}
+		} else {
+			merged.union(held)
+		}
+		return merged
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = w.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.checkExpr(st.Cond, held)
+		}
+		body := w.stmts(st.Body.List, held.clone())
+		out := held.clone()
+		out.union(body)
+		return out
+	case *ast.RangeStmt:
+		if t := w.info.TypeOf(st.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan && len(held) > 0 {
+				w.reportBlocked(st.Pos(), "range over channel", held)
+			}
+		}
+		w.checkExpr(st.X, held)
+		body := w.stmts(st.Body.List, held.clone())
+		out := held.clone()
+		out.union(body)
+		return out
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = w.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.checkExpr(st.Tag, held)
+		}
+		merged := held.clone()
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				merged.union(w.stmts(cc.Body, held.clone()))
+			}
+		}
+		return merged
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held = w.stmt(st.Init, held)
+		}
+		merged := held.clone()
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				merged.union(w.stmts(cc.Body, held.clone()))
+			}
+		}
+		return merged
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			w.reportBlocked(st.Pos(), "select without default", held)
+		}
+		merged := held.clone()
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				merged.union(w.stmts(cc.Body, held.clone()))
+			}
+		}
+		return merged
+	}
+	return held
+}
+
+// checkFuncLits analyzes any function literals under n as functions in
+// their own right, with an empty held-lock state: a goroutine or deferred
+// closure does not hold the caller's locks, but may take (and block
+// under) locks of its own.
+func (w *waitlockWalker) checkFuncLits(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, lockSet{})
+			return false
+		}
+		return true
+	})
+}
+
+// checkExpr scans an expression for blocking operations under held locks.
+// Function literals are analyzed separately with a fresh lock state, not
+// under the caller's.
+func (w *waitlockWalker) checkExpr(e ast.Expr, held lockSet) {
+	if e == nil {
+		return
+	}
+	if len(held) == 0 {
+		w.checkFuncLits(e)
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(x.Body.List, lockSet{})
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.reportBlocked(x.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if desc, ok := blockingCall(w.info, x); ok {
+				w.reportBlocked(x.Pos(), desc, held)
+			}
+		}
+		return true
+	})
+}
+
+func (w *waitlockWalker) reportBlocked(pos token.Pos, what string, held lockSet) {
+	// Name one held lock deterministically (the first in key order).
+	var key string
+	for k := range held {
+		if key == "" || k < key {
+			key = k
+		}
+	}
+	w.pass.Reportf(pos, "move the blocking operation outside the critical section, or use a select with default",
+		"%s while %s is held (locked at line %d): every goroutine contending for the lock inherits this wait",
+		what, key, w.pass.Fset.Position(held[key]).Line)
+}

@@ -1,0 +1,11 @@
+package obs
+
+// metricFamilies registers the one fixed-name family this package
+// exposes. Everything else obs renders (trace-exporter counters, Go
+// runtime telemetry) takes the caller's prefix at runtime and is named
+// dynamically, which is exactly why siwad-lint's metricreg analyzer
+// checks literal names only: a %s-prefixed family cannot drift by typo
+// at one site, a literal can.
+var metricFamilies = map[string]string{
+	"siwa_build_info": "version",
+}

@@ -41,6 +41,10 @@ const (
 	// by a replica itself; listed here so the taxonomy stays in one place.
 	// HTTP 503 with Retry-After.
 	CodeUnavailable = "unavailable"
+	// CodeNotFound: the requested resource (a retained trace, an unknown
+	// debug object) does not exist. HTTP 404. Emitted by debug endpoints,
+	// never by the analysis path.
+	CodeNotFound = "not_found"
 )
 
 // ErrorBody is the wire shape of one error: a stable machine-readable

@@ -466,7 +466,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// pool-size items from this batch are in admission at once, so a lone
 	// large batch never exhausts the queue and sheds itself; only genuine
 	// cross-request overload does.
-	tickets := make(chan struct{}, s.pool.Size())
+	admission := newTickets(s.pool.Size())
 	for i, p := range req.Programs {
 		res := &results[i]
 		res.ID = p.ID
@@ -487,11 +487,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.metrics.BatchItems[BatchError].Add(1)
 			continue
 		}
-		tickets <- struct{}{}
+		admission.acquire()
 		wg.Add(1)
 		go func(source string, opt siwa.Options, res *BatchResult) {
 			defer wg.Done()
-			defer func() { <-tickets }()
+			defer admission.release()
 			// Panics in a batch goroutine bypass the HTTP recovery
 			// middleware (that runs on the request goroutine) and would
 			// kill the process: contain them per item.

@@ -1,0 +1,40 @@
+package service
+
+// metricFamilies is the replica's metric pre-registration table: every
+// family the service exposes, mapped to its label key ("" = unlabeled).
+// Observation sites — the Fprintf exposition literals and WriteProm
+// calls in metrics.go, and the scrape-side name lookups in the gateway's
+// fleet aggregator — are checked against this table by siwad-lint's
+// metricreg analyzer, and TestMetricFamiliesRegistered cross-checks the
+// rendered exposition at runtime. A name or label that drifts from this
+// table fails the build instead of silently forking a family on the
+// dashboards.
+var metricFamilies = map[string]string{
+	"siwa_requests_total":              "endpoint",
+	"siwa_analyses_total":              "",
+	"siwa_anomalous_total":             "",
+	"siwa_timeouts_total":              "",
+	"siwa_request_errors_total":        "",
+	"siwa_shed_total":                  "",
+	"siwa_deadline_shed_total":         "",
+	"siwa_panics_total":                "",
+	"siwa_degraded_total":              "",
+	"siwa_batch_items_total":           "outcome",
+	"siwa_cache_hits_total":            "",
+	"siwa_cache_misses_total":          "",
+	"siwa_cache_evictions_total":       "",
+	"siwa_cache_entries":               "",
+	"siwa_stage_cache_hits_total":      "",
+	"siwa_stage_cache_misses_total":    "",
+	"siwa_stage_cache_evictions_total": "",
+	"siwa_stage_cache_builds_total":    "",
+	"siwa_stage_cache_bytes":           "",
+	"siwa_stage_cache_entries":         "",
+	"siwa_inflight_requests":           "",
+	"siwa_workers":                     "",
+	"siwa_workers_busy":                "",
+	"siwa_queue_depth":                 "",
+	"siwa_queued":                      "",
+	"siwa_http_request_seconds":        "endpoint",
+	"siwa_analyze_stage_seconds":       "stage",
+}

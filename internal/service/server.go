@@ -210,6 +210,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// in-flight requests finish. Draining is terminal — the listener is
 	// about to close and never reopens on this Server.
 	s.draining.Store(true)
+	//lint:ignore ctxflow ctx is already done here; the grace window must outlive it to drain in-flight requests
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
 	err := hs.Shutdown(sctx)
